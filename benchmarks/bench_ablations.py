@@ -1,0 +1,21 @@
+"""Ablation bench: the design choices DESIGN.md calls out.
+
+Covers shelf-size scaling, steering-policy endpoints (all-shelf is an
+in-order core; all-IQ is the baseline), the dual-vs-single SSR argument
+(paper Section III-B) and conservative vs. optimistic same-cycle issue
+(Section III-A).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, scale):
+    result = benchmark.pedantic(ablations.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    f = result.findings
+    # All-shelf degenerates toward an in-order core: far below practical.
+    assert f["stp_shelf-only"] < f["stp_practical"]
+    # Shelf-size returns do not regress wildly when capacity quadruples.
+    assert f["stp_shelf128"] >= f["stp_shelf16"] - 0.05

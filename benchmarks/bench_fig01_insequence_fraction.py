@@ -1,0 +1,23 @@
+"""Figure 1 bench: in-sequence instruction fraction vs. SMT thread count.
+
+Paper claim: the fraction "more than doubles to more than 50% on average"
+going from 1 to 4 threads in a 128-entry window.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig01_insequence
+
+
+def test_fig01_insequence_fraction(benchmark, scale):
+    result = benchmark.pedantic(fig01_insequence.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    f = result.findings
+    # Shape assertions: a monotone-increasing trend with a substantial
+    # in-sequence population at high thread counts.  (The paper's >50%
+    # at 4 threads lands at 48-55% here depending on the mix sample; see
+    # EXPERIMENTS.md for the absolute-level discussion.)
+    assert f["insequence_4t"] > f["insequence_1t"]
+    assert f["insequence_8t"] > f["insequence_2t"]
+    assert f["insequence_4t"] > 0.45
+    assert f["insequence_8t"] > 0.5

@@ -1,0 +1,23 @@
+"""Figure 2 bench: weighted CDF of in-sequence / reordered series lengths.
+
+Paper claim: 99% of in-sequence instructions occur in series of <= 30
+instructions; reordered series are bounded by the 128-entry ROB; series
+average 5-20 instructions.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig02_series_cdf
+
+
+def test_fig02_series_cdf(benchmark, scale):
+    result = benchmark.pedantic(fig02_series_cdf.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    f = result.findings
+    assert f["inseq_p99_length"] <= 60  # short in-sequence series
+    assert f["reordered_max_length"] <= 192  # bounded by window resources
+    # Paper: 99% of in-sequence instructions in series of <= 30.
+    cdf30 = next(r[1] for r in result.rows if r[0] == 30)
+    assert cdf30 > 0.9
+    # Series average in the 5-20 instruction range the paper reports.
+    assert 2.0 < f["inseq_mean_weighted"] < 30.0

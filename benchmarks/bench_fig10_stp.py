@@ -1,0 +1,19 @@
+"""Figure 10 bench: STP improvement of the shelf designs over Base64.
+
+Paper claim: +8.6% (conservative) / +11.5% (optimistic) geomean, up to
++15.1% / +19.2% at best; roughly half of the doubled design's gain.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig10_stp
+
+
+def test_fig10_stp(benchmark, scale):
+    result = benchmark.pedantic(fig10_stp.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    f = result.findings
+    # Shape: the shelf improves throughput, the doubled design bounds it.
+    assert f["stp_geomean_Shelf64-cons"] > 0.0
+    assert f["stp_geomean_Base128"] > f["stp_geomean_Shelf64-cons"]
+    assert f["stp_best_Shelf64-cons"] > 0.05

@@ -1,0 +1,18 @@
+"""Figure 11 bench: per-thread in-sequence fraction for selected mixes.
+
+Paper claim: about half of instructions are in-sequence on average, with
+substantial imbalance across benchmarks within a mix.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig11_mix_insequence
+
+
+def test_fig11_mix_insequence(benchmark, scale):
+    result = benchmark.pedantic(fig11_mix_insequence.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    assert 0.3 < result.findings["mean_insequence"] < 0.8
+    # Imbalance: the per-thread fractions must span a real range.
+    fracs = [row[2] for row in result.rows if isinstance(row[2], float)]
+    assert max(fracs) - min(fracs) > 0.2

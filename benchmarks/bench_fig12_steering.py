@@ -1,0 +1,20 @@
+"""Figure 12 bench: practical vs. oracle steering.
+
+Paper claim: ~16% of instructions are mis-steered by the practical
+mechanism relative to the oracle, yet SMT hides the resulting stalls and
+practical steering stays close to oracle performance.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig12_steering
+
+
+def test_fig12_steering(benchmark, scale):
+    result = benchmark.pedantic(fig12_steering.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    f = result.findings
+    # A real fraction of decisions disagree with the oracle...
+    assert 0.02 < f["missteer_fraction"] < 0.5
+    # ...but performance stays close (within a few STP points).
+    assert abs(f["stp_practical"] - f["stp_oracle"]) < 0.05

@@ -1,0 +1,18 @@
+"""Figure 13 bench: energy-delay product of the evaluated designs.
+
+Paper claim: Base128 improves EDP by 4.9% over Base64; the shelf designs
+do better (+8.6% conservative / +10.9% optimistic, up to +17.5%).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig13_edp
+
+
+def test_fig13_edp(benchmark, scale):
+    result = benchmark.pedantic(fig13_edp.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    f = result.findings
+    # Shape: the shelf's EDP gain beats its small power cost.
+    assert f["edp_geomean_Shelf64-cons"] > 0.0
+    assert f["edp_best_shelf"] > 0.05

@@ -1,0 +1,19 @@
+"""Figure 14 bench: shelf opportunity with fewer threads.
+
+Paper claim: no opportunity (and no harm) single-threaded; a modest STP
+and EDP improvement at two threads.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig14_fewer_threads
+
+
+def test_fig14_fewer_threads(benchmark, scale):
+    result = benchmark.pedantic(fig14_fewer_threads.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    f = result.findings
+    # 1 thread: the shelf must not hurt (beyond noise).
+    assert f["stp_impr_1t"] > -0.02
+    # 2 threads: no harm, modest gain expected.
+    assert f["stp_impr_2t"] > -0.02

@@ -1,0 +1,22 @@
+"""Granularity bench: blockwise steering vs. the paper's per-instruction
+steering.
+
+Paper claim (Section I): in-sequence and reordered instructions
+interleave in 5-20-instruction series, so hybrid designs that switch at
+hundred/thousand-instruction granularity cannot exploit the phenomenon.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import granularity
+
+
+def test_granularity(benchmark, scale):
+    result = benchmark.pedantic(granularity.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    f = result.findings
+    # Instruction-level steering must beat every coarse block size.
+    assert f["stp_gran1"] > f["stp_gran32"]
+    assert f["stp_gran1"] > f["stp_gran1000"]
+    # Coarse switching forfeits (essentially all of) the benefit.
+    assert f["stp_gran1000"] < 0.02

@@ -1,0 +1,20 @@
+"""Sensitivity bench: shelf benefit vs. surrounding structure sizes.
+
+Quantifies the paper's Section V-A loss-case discussion: the shelf's gain
+depends on the pressure it relieves (IQ size) and on what it cannot
+relieve (LQ/SQ capacity for reordered loads, MSHR-bounded MLP).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(benchmark, scale):
+    result = benchmark.pedantic(sensitivity.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    f = result.findings
+    # A halved IQ raises the pressure the shelf relieves.
+    assert f["stp_iq16"] > f["stp_iq64"] - 0.02
+    # The baseline design point shows a real gain.
+    assert f["stp_base"] > 0.0

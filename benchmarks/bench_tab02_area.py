@@ -1,0 +1,21 @@
+"""Table II bench: core area increase over Base64.
+
+Paper claim: shelf +3.1% (excl. L1) / +2.1% (incl. L1); doubled design
++9.7% / +6.6%.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import tab02_area
+
+
+def test_tab02_area(benchmark, scale):
+    result = benchmark.pedantic(tab02_area.run, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(result)
+    f = result.findings
+    assert 0.02 < f["area_shelf_no_l1"] < 0.045
+    assert 0.07 < f["area_base128_no_l1"] < 0.13
+    # The shelf costs roughly a third of doubling.
+    assert f["area_shelf_no_l1"] < 0.5 * f["area_base128_no_l1"]
+    # Including L1 dilutes both increases.
+    assert f["area_shelf_with_l1"] < f["area_shelf_no_l1"]

@@ -1,0 +1,23 @@
+"""Shared fixtures for the reproduction benches.
+
+Each bench regenerates one paper figure/table: it runs the experiment,
+prints the same rows the paper reports (captured with ``-s`` or in the
+benchmark output), and asserts the reproduction's shape findings.
+
+Scale: set ``REPRO_SCALE`` to ``smoke`` / ``default`` / ``full``.
+"""
+
+import pytest
+
+from repro.harness import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+def emit(result) -> None:
+    """Print an ExperimentResult table beneath the bench output."""
+    print()
+    print(result.format())

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Energy and area accounting for the three evaluated designs.
+
+Prices one SMT mix's event counts against the McPAT-style structure
+models (paper Section V-B): per-structure dynamic energy, leakage, power,
+energy-delay product, and the Table II area comparison.
+
+Run:  python examples/energy_report.py
+"""
+
+from repro import (base64_config, base128_config, shelf_config,
+                   area_report, edp, energy_report, generate, simulate)
+
+MIX = ["stream.add", "mixed.int", "gather.rmw", "serial.memdep"]
+LENGTH = 3000
+
+
+def main() -> None:
+    traces = [generate(b, LENGTH, seed=i) for i, b in enumerate(MIX)]
+    configs = [
+        ("Base64", base64_config(4)),
+        ("Base64+Shelf64", shelf_config(4)),
+        ("Base128", base128_config(4)),
+    ]
+
+    print(f"mix: {', '.join(MIX)}\n")
+    reports = {}
+    for label, cfg in configs:
+        res = simulate(cfg, traces)
+        rep = energy_report(cfg, res)
+        reports[label] = rep
+        print(rep.summary())
+        print(f"  EDP {edp(rep):.3e} J*s\n")
+
+    base = reports["Base64"]
+    print("relative to Base64:")
+    for label, rep in reports.items():
+        print(f"  {label:<16} power x{rep.power_w / base.power_w:.2f}   "
+              f"EDP improvement {1 - edp(rep) / edp(base):+.1%}")
+
+    print("\narea (Table II):")
+    areas = {label: area_report(cfg) for label, cfg in configs}
+    base_area = areas["Base64"]
+    for label, rep in areas.items():
+        no_l1 = rep.increase_over(base_area, include_l1=False)
+        with_l1 = rep.increase_over(base_area, include_l1=True)
+        print(f"  {label:<16} +{no_l1:.1%} excl. L1,  +{with_l1:.1%} incl. L1")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Paper-scale reproduction of the headline results.
+
+Runs the core figures (1, 2, 10, 11, 13, 14, Table II) at full scale —
+6,000 instructions/thread across all 28 balanced mixes.  Figure 12 and
+the ablation/granularity/sensitivity sweeps are excluded here because
+their extra configurations roughly double the runtime; run them with
+``python -m repro experiments fig12 ablations granularity sensitivity``.
+"""
+
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.harness import get_scale
+
+CORE = ["tab02", "fig01", "fig02", "fig10", "fig11", "fig13", "fig14"]
+
+
+def main() -> None:
+    scale = get_scale("full")
+    print(f"# full-scale reproduction: {scale}\n", flush=True)
+    t_start = time.time()
+    for key in CORE:
+        t0 = time.time()
+        result = ALL_EXPERIMENTS[key].run(scale)
+        print(result.format(), flush=True)
+        print(f"[{key}: {time.time() - t0:.0f}s]\n", flush=True)
+    print(f"total: {time.time() - t_start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Run every experiment at the selected scale and print all tables.
+
+Usage: [REPRO_SCALE=smoke|default|full] python scripts/run_all_experiments.py
+
+The in-process run cache is shared across experiments, so the full suite
+costs far less than the sum of its parts.
+"""
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.harness import get_scale
+
+
+def main() -> None:
+    scale = get_scale()
+    print(f"# experiment suite at scale: {scale}\n")
+    t_start = time.time()
+    for key, module in ALL_EXPERIMENTS.items():
+        t0 = time.time()
+        result = module.run(scale)
+        print(result.format())
+        print(f"[{key}: {time.time() - t0:.0f}s]\n")
+    print(f"total: {time.time() - t_start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — a reproduction of "Efficiently Scaling Out-of-Order Cores for
+Simultaneous Multithreading" (Sleiman & Wenisch, ISCA 2016).
+
+A cycle-level, trace-driven SMT out-of-order core simulator whose
+instruction window can be hybrid: a conventional IQ/ROB/LSQ/PRF backend
+plus the paper's *shelf* — a per-thread FIFO issue buffer for in-sequence
+instructions that skips every out-of-order structure.
+
+Quick start::
+
+    from repro import CoreConfig, simulate, generate
+
+    cfg = CoreConfig(num_threads=4, shelf_entries=64, steering="practical")
+    traces = [generate(b, 5000, seed=i) for i, b in enumerate(
+        ["mixed.int", "pchase.mem", "ilp.int4", "branchy.easy"])]
+    result = simulate(cfg, traces)
+    print(result.summary())
+
+See ``examples/`` for runnable scenarios, ``benchmarks/`` for the
+per-figure reproduction harness, and DESIGN.md for the system inventory.
+"""
+
+from repro.core import (
+    CoreConfig,
+    DeadlockError,
+    Pipeline,
+    SimResult,
+    ThreadResult,
+    simulate,
+)
+from repro.energy import area_report, edp, energy_report
+from repro.harness import (
+    base64_config,
+    base128_config,
+    shelf_config,
+    mix_stp,
+    run_benchmark,
+    run_mix,
+)
+from repro.metrics import insequence_fraction, stp
+from repro.trace import BENCHMARK_NAMES, balanced_random_mixes, generate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "DeadlockError",
+    "Pipeline",
+    "SimResult",
+    "ThreadResult",
+    "simulate",
+    "area_report",
+    "edp",
+    "energy_report",
+    "base64_config",
+    "base128_config",
+    "shelf_config",
+    "mix_stp",
+    "run_benchmark",
+    "run_mix",
+    "insequence_fraction",
+    "stp",
+    "BENCHMARK_NAMES",
+    "balanced_random_mixes",
+    "generate",
+    "__version__",
+]

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``run``          simulate a benchmark mix on a named configuration;
+* ``experiments``  regenerate paper figures/tables;
+* ``benchmarks``   list the synthetic benchmark roster;
+* ``trace``        generate a benchmark trace and save it to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.energy import area_report, edp, energy_report
+from repro.harness.configs import (base64_config, base128_config,
+                                   shelf_config)
+from repro.trace import BENCHMARK_NAMES, benchmark_spec, generate
+
+
+def _build_config(args) -> CoreConfig:
+    threads = args.threads
+    if args.config == "base64":
+        cfg = base64_config(threads)
+    elif args.config == "base128":
+        cfg = base128_config(threads)
+    else:
+        cfg = shelf_config(threads, steering=args.steering,
+                           optimistic=args.optimistic)
+    if args.memory_model != "relaxed":
+        from dataclasses import replace
+        cfg = replace(cfg, memory_model=args.memory_model)
+    return cfg
+
+
+def _cmd_run(args) -> int:
+    benches = args.benchmarks.split(",")
+    if len(benches) != args.threads:
+        print(f"error: {args.threads} thread(s) need {args.threads} "
+              f"benchmark(s), got {len(benches)}", file=sys.stderr)
+        return 2
+    for b in benches:
+        if b not in BENCHMARK_NAMES:
+            print(f"error: unknown benchmark {b!r} "
+                  f"(try: python -m repro benchmarks)", file=sys.stderr)
+            return 2
+    cfg = _build_config(args)
+    traces = [generate(b, args.length, seed=args.seed + i)
+              for i, b in enumerate(benches)]
+    pipe = Pipeline(cfg, traces, record_schedule=args.pipetrace)
+    res = pipe.run(stop="all" if args.threads == 1 else "first")
+    print(res.summary())
+    if args.energy:
+        rep = energy_report(cfg, res)
+        print()
+        print(rep.summary())
+        print(f"EDP {edp(rep):.3e} J*s")
+    if args.pipetrace:
+        from repro.analysis import format_pipetrace
+        print()
+        print(format_pipetrace(pipe, max_instructions=args.pipetrace))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.harness import get_scale
+    scale = get_scale(args.scale)
+    wanted = args.ids or list(ALL_EXPERIMENTS)
+    unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"error: unknown experiment(s) {', '.join(unknown)}; "
+              f"choose from {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    print(f"scale: {scale}\n")
+    for key in wanted:
+        print(ALL_EXPERIMENTS[key].run(scale).format())
+        print()
+    return 0
+
+
+def _cmd_benchmarks(args) -> int:
+    by_family: dict = {}
+    for name in BENCHMARK_NAMES:
+        spec = benchmark_spec(name)
+        by_family.setdefault(spec.family, []).append(spec)
+    for family, specs in by_family.items():
+        print(f"{family}:")
+        for spec in specs:
+            foot = (f"{spec.footprint // 1024}KB data"
+                    if spec.footprint else "register-resident")
+            print(f"  {spec.name:<14} {spec.description} ({foot})")
+    return 0
+
+
+def _cmd_litmus(args) -> int:
+    from repro.analysis import run_litmus
+    print(run_litmus().format())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.trace.serialize import save_trace
+    if args.benchmark not in BENCHMARK_NAMES:
+        print(f"error: unknown benchmark {args.benchmark!r}",
+              file=sys.stderr)
+        return 2
+    trace = generate(args.benchmark, args.length, seed=args.seed)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} instructions to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shelf/IQ hybrid SMT core simulator "
+                    "(ISCA 2016 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a benchmark mix")
+    run.add_argument("benchmarks",
+                     help="comma-separated benchmark names, one per thread")
+    run.add_argument("--config", choices=["base64", "shelf64", "base128"],
+                     default="shelf64")
+    run.add_argument("--threads", type=int, default=4)
+    run.add_argument("--length", type=int, default=4000,
+                     help="instructions per thread")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--steering", default="practical",
+                     choices=["practical", "oracle", "shelf-only"])
+    run.add_argument("--optimistic", action="store_true",
+                     help="allow same-cycle shelf issue")
+    run.add_argument("--memory-model", choices=["relaxed", "tso"],
+                     default="relaxed")
+    run.add_argument("--energy", action="store_true",
+                     help="print the energy/power report")
+    run.add_argument("--pipetrace", type=int, metavar="N", default=0,
+                     help="render a pipe trace of the first N instructions")
+    run.set_defaults(func=_cmd_run)
+
+    exp = sub.add_parser("experiments",
+                         help="regenerate paper figures/tables")
+    exp.add_argument("ids", nargs="*",
+                     help="experiment ids (default: all)")
+    exp.add_argument("--scale", choices=["smoke", "default", "full"],
+                     default=None)
+    exp.set_defaults(func=_cmd_experiments)
+
+    lst = sub.add_parser("benchmarks", help="list the benchmark roster")
+    lst.set_defaults(func=_cmd_benchmarks)
+
+    lit = sub.add_parser("litmus",
+                         help="measure fundamental pipeline latencies")
+    lit.set_defaults(func=_cmd_litmus)
+
+    tr = sub.add_parser("trace", help="generate and save a trace")
+    tr.add_argument("benchmark")
+    tr.add_argument("output")
+    tr.add_argument("--length", type=int, default=10000)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped through `head`): exit quietly.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

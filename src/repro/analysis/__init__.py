@@ -1,0 +1,11 @@
+"""Post-simulation analysis, visualization and self-validation."""
+
+from repro.analysis.compare import ResultComparison, compare_results
+from repro.analysis.litmus import LitmusReport, run_litmus
+from repro.analysis.memcheck import (MemcheckReport, check_memory_order,
+                                     golden_producers)
+from repro.analysis.pipetrace import format_pipetrace, occupancy_timeline
+
+__all__ = ["ResultComparison", "compare_results", "LitmusReport",
+           "run_litmus", "MemcheckReport", "check_memory_order",
+           "golden_producers", "format_pipetrace", "occupancy_timeline"]

@@ -1,0 +1,73 @@
+"""Structured comparison of two simulation results.
+
+Answers "what changed and why" when a configuration knob moves: per-thread
+CPI deltas, event-count deltas ranked by relative change, occupancy and
+cache-behaviour shifts — the first thing to look at when a result
+surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.stats import SimResult
+
+
+@dataclass
+class ResultComparison:
+    """Delta report between a baseline and a candidate run."""
+
+    base_label: str
+    cand_label: str
+    cycles: Tuple[int, int]
+    speedup: float
+    thread_cpi: List[Tuple[str, float, float]]  # (benchmark, base, cand)
+    event_deltas: List[Tuple[str, int, int, float]]  # name, base, cand, rel
+    occupancy: Dict[str, Tuple[float, float]]
+
+    def format(self, top_events: int = 10) -> str:
+        lines = [f"{self.base_label}  ->  {self.cand_label}",
+                 f"cycles {self.cycles[0]} -> {self.cycles[1]} "
+                 f"(speedup x{self.speedup:.3f})"]
+        lines.append("per-thread CPI:")
+        for bench, b, c in self.thread_cpi:
+            arrow = "better" if c < b else ("worse" if c > b else "same")
+            lines.append(f"  {bench:<16} {b:8.3f} -> {c:8.3f}  ({arrow})")
+        lines.append(f"largest event changes (top {top_events}):")
+        for name, b, c, rel in self.event_deltas[:top_events]:
+            lines.append(f"  {name:<22} {b:>9} -> {c:>9}  ({rel:+.0%})")
+        lines.append("occupancy:")
+        for name, (b, c) in sorted(self.occupancy.items()):
+            lines.append(f"  {name:<6} {b:7.2f} -> {c:7.2f}")
+        return "\n".join(lines)
+
+
+def compare_results(base: SimResult, cand: SimResult) -> ResultComparison:
+    """Build a :class:`ResultComparison` (runs must share the workload)."""
+    base_benches = [t.benchmark for t in base.threads]
+    cand_benches = [t.benchmark for t in cand.threads]
+    if base_benches != cand_benches:
+        raise ValueError(f"result workloads differ: {base_benches} vs "
+                         f"{cand_benches}")
+    base_ev = base.events.as_dict()
+    cand_ev = cand.events.as_dict()
+    deltas = []
+    for name in base_ev:
+        b, c = base_ev[name], cand_ev[name]
+        if b == 0 and c == 0:
+            continue
+        rel = (c - b) / b if b else float("inf")
+        deltas.append((name, b, c, rel))
+    deltas.sort(key=lambda d: -abs(d[3] if d[3] != float("inf") else 10.0))
+    return ResultComparison(
+        base_label=base.config_label,
+        cand_label=cand.config_label,
+        cycles=(base.cycles, cand.cycles),
+        speedup=base.cycles / cand.cycles if cand.cycles else float("inf"),
+        thread_cpi=[(bt.benchmark, bt.cpi, ct.cpi)
+                    for bt, ct in zip(base.threads, cand.threads)],
+        event_deltas=deltas,
+        occupancy={k: (base.occupancy.get(k, 0.0), cand.occupancy.get(k, 0.0))
+                   for k in set(base.occupancy) | set(cand.occupancy)},
+    )

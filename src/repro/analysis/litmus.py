@@ -1,0 +1,154 @@
+"""Timing litmus tests: micro-benchmarks that pin down the machine model.
+
+Real simulators ship self-checks that measure fundamental pipeline
+latencies with tiny hand-built kernels and compare them against the
+configuration.  Each litmus here builds a minimal trace, runs it on a
+given :class:`~repro.core.CoreConfig`, and returns the *measured* value
+so callers (and the test suite) can assert the model's arithmetic:
+
+* ALU chain throughput — one dependent op per cycle;
+* load-to-use distance — the paper's 2-cycle L1 floor;
+* branch misprediction penalty — resolution wait + front-end refill;
+* store-to-load forwarding latency;
+* issue-width ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.trace.trace import Trace
+
+
+def _alu(dest, srcs, pc):
+    return Instruction(op=OpClass.INT_ALU, dest=dest, srcs=srcs, pc=pc,
+                       next_pc=pc + 4)
+
+
+def _issue_cycles(config: CoreConfig, instrs: List[Instruction]) -> dict:
+    pipe = Pipeline(config, [Trace("litmus", instrs)],
+                    record_schedule=True)
+    pipe.run(stop="all")
+    return {seq: cycle for cycle, _tid, seq, _sh in pipe.issue_log}
+
+
+def alu_chain_throughput(config: Optional[CoreConfig] = None,
+                         length: int = 256) -> float:
+    """Cycles per instruction along a pure RAW chain (expected: 1.0)."""
+    cfg = config or CoreConfig(num_threads=1)
+    # PCs loop within one I-cache line so instruction fetch stays warm.
+    instrs = [_alu(2, (2,), 0x1000 + 4 * (i % 16)) for i in range(length)]
+    cycles = _issue_cycles(cfg, instrs)
+    # steady-state slope, skipping the cold front end
+    mid, end = length // 2, length - 1
+    return (cycles[end] - cycles[mid]) / (end - mid)
+
+
+def load_to_use_distance(config: Optional[CoreConfig] = None) -> int:
+    """Issue-to-issue distance from an L1-hit load to its consumer."""
+    cfg = config or CoreConfig(num_threads=1)
+    instrs = [
+        # Warming load; the second load's address register depends on it,
+        # so the re-access happens only after the line has truly filled
+        # (not while the miss is still in the MSHRs).
+        Instruction(op=OpClass.LOAD, dest=2, srcs=(1,), pc=0x1000,
+                    next_pc=0x1004, mem_addr=0x100),
+        _alu(2, (2,), 0x1004),
+        Instruction(op=OpClass.LOAD, dest=3, srcs=(2,), pc=0x1008,
+                    next_pc=0x100C, mem_addr=0x100),  # L1 hit
+        _alu(4, (3,), 0x100C),                         # the consumer
+    ]
+    cycles = _issue_cycles(cfg, instrs)
+    return cycles[3] - cycles[2]
+
+
+def mispredict_penalty(config: Optional[CoreConfig] = None) -> float:
+    """Extra cycles per mispredicted branch (resolution + refill)."""
+    import random as _random
+    cfg = config or CoreConfig(num_threads=1)
+    rng = _random.Random(7)
+
+    def branch_run(pattern):
+        instrs = []
+        pc0 = 0x1000
+        for i in range(400):
+            taken = pattern(i)
+            instrs.append(Instruction(
+                op=OpClass.BRANCH, dest=None, srcs=(1,),
+                pc=pc0, next_pc=pc0 if taken else pc0 + 4, taken=taken))
+        res = Pipeline(cfg, [Trace("b", instrs)]).run(stop="all")
+        return res.cycles, res.events.branch_mispredicts
+
+    predictable, _ = branch_run(lambda i: True)
+    noisy, mispredicts = branch_run(lambda i: rng.random() < 0.5)
+    if mispredicts == 0:
+        return 0.0
+    return max(0.0, (noisy - predictable) / mispredicts)
+
+
+def forwarding_latency(config: Optional[CoreConfig] = None) -> int:
+    """Issue-to-issue distance through store-to-load forwarding."""
+    cfg = config or CoreConfig(num_threads=1)
+    instrs = [
+        Instruction(op=OpClass.LOAD, dest=9, srcs=(8,), pc=0x1000,
+                    next_pc=0x1004, mem_addr=0x40000),  # pins retirement
+        Instruction(op=OpClass.STORE, dest=None, srcs=(1, 2), pc=0x1004,
+                    next_pc=0x1008, mem_addr=0x100),
+        _alu(7, (7,), 0x1008),
+        _alu(7, (7,), 0x100C),
+        Instruction(op=OpClass.LOAD, dest=3, srcs=(7,), pc=0x1010,
+                    next_pc=0x1014, mem_addr=0x100),    # forwards
+        _alu(4, (3,), 0x1014),
+    ]
+    cycles = _issue_cycles(cfg, instrs)
+    return cycles[5] - cycles[4]
+
+
+def issue_width_ceiling(config: Optional[CoreConfig] = None) -> float:
+    """Peak steady-state IPC on fully independent single-cycle work
+    (expected: the configured issue width, front-end permitting)."""
+    cfg = config or CoreConfig(num_threads=1)
+    n = 2000
+    instrs = [_alu(2 + i % 8, (), 0x1000 + 4 * (i % 32))
+              for i in range(n)]
+    cycles = _issue_cycles(cfg, instrs)
+    mid, end = n // 2, n - 1
+    slope = (cycles[end] - cycles[mid]) / (end - mid)
+    return 1.0 / slope if slope else float("inf")
+
+
+@dataclass
+class LitmusReport:
+    """All litmus measurements for one configuration."""
+
+    alu_cpi: float
+    load_to_use: int
+    mispredict_penalty: float
+    forwarding: int
+    peak_ipc: float
+
+    def format(self) -> str:
+        return "\n".join([
+            f"ALU chain CPI          {self.alu_cpi:.2f}  (expect 1.00)",
+            f"load-to-use distance   {self.load_to_use}     (expect 2)",
+            f"mispredict penalty     {self.mispredict_penalty:.1f} cycles",
+            f"forwarding latency     {self.forwarding}     (expect 2)",
+            f"peak IPC               {self.peak_ipc:.2f}  (expect ~width)",
+        ])
+
+
+def run_litmus(config: Optional[CoreConfig] = None) -> LitmusReport:
+    """Measure every litmus on *config* (default: the Base64 core)."""
+    cfg = config or CoreConfig(num_threads=1)
+    return LitmusReport(
+        alu_cpi=alu_chain_throughput(cfg),
+        load_to_use=load_to_use_distance(cfg),
+        mispredict_penalty=mispredict_penalty(cfg),
+        forwarding=forwarding_latency(cfg),
+        peak_ipc=issue_width_ceiling(cfg),
+    )

@@ -1,0 +1,100 @@
+"""Textual pipeline visualization (a gem5-style "pipe trace").
+
+Requires a :class:`~repro.core.Pipeline` constructed with
+``record_schedule=True``: each retired instruction's lifetime (dispatch,
+issue, completion, retirement cycles) is then available in
+``pipeline.instr_log``.
+
+Stage legend in the rendered chart::
+
+    D  dispatched (entered the IQ or the shelf)
+    =  waiting to issue
+    I  issued to a functional unit
+    ~  executing
+    C  completed (wrote back)
+    .  waiting to retire
+    R  retired
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.pipeline import Pipeline
+
+
+def format_pipetrace(pipeline: Pipeline, start: int = 0,
+                     max_instructions: int = 40,
+                     tid: Optional[int] = None,
+                     width: int = 64) -> str:
+    """Render a per-instruction lifetime chart.
+
+    Args:
+        pipeline: a finished pipeline run with ``record_schedule=True``.
+        start: skip this many log records first.
+        max_instructions: number of rows to draw.
+        tid: restrict to one thread (None = all threads).
+        width: character budget for the timeline column.
+    """
+    if not pipeline.record_schedule:
+        raise ValueError("Pipeline must be built with record_schedule=True")
+    records = [r for r in pipeline.instr_log
+               if tid is None or r["tid"] == tid]
+    records.sort(key=lambda r: (r["dispatch"], r["tid"], r["seq"]))
+    records = records[start:start + max_instructions]
+    if not records:
+        return "(no retired instructions in the selected window)"
+
+    lo = min(r["dispatch"] for r in records)
+    hi = max(r["retire"] for r in records)
+    span = max(hi - lo + 1, 1)
+    scale = max(1, -(-span // width))  # ceil: cycles per character
+
+    def col(cycle: int) -> int:
+        return (cycle - lo) // scale
+
+    lines = [f"cycles {lo}..{hi} ({scale} cycle(s)/char)  "
+             f"D=dispatch I=issue C=complete R=retire"]
+    for r in records:
+        row = [" "] * (col(hi) + 1)
+
+        def paint(a: int, b: int, ch: str) -> None:
+            for i in range(col(a), col(b) + 1):
+                if 0 <= i < len(row) and row[i] == " ":
+                    row[i] = ch
+
+        paint(r["issue"], r["complete"], "~")
+        paint(r["complete"], r["retire"], ".")
+        paint(r["dispatch"], r["issue"], "=")
+        row[col(r["dispatch"])] = "D"
+        row[col(r["issue"])] = "I"
+        row[col(r["complete"])] = "C"
+        row[col(r["retire"])] = "R"
+        where = "shelf" if r["to_shelf"] else "iq"
+        lines.append(f"t{r['tid']}#{r['seq']:<5} {r['op']:<8} {where:<5} "
+                     f"|{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def occupancy_timeline(pipeline: Pipeline, buckets: int = 40) -> str:
+    """Coarse utilization chart: retired instructions per time bucket.
+
+    Works on any finished run with ``record_schedule=True`` and gives a
+    quick view of throughput phases (warm-up, steady state, drain).
+    """
+    if not pipeline.record_schedule:
+        raise ValueError("Pipeline must be built with record_schedule=True")
+    if not pipeline.instr_log:
+        return "(nothing retired)"
+    hi = max(r["retire"] for r in pipeline.instr_log) + 1
+    step = max(1, -(-hi // buckets))
+    counts = [0] * (-(-hi // step))
+    for r in pipeline.instr_log:
+        counts[r["retire"] // step] += 1
+    peak = max(counts)
+    lines = [f"retired instructions per {step}-cycle bucket "
+             f"(peak {peak}):"]
+    for i, c in enumerate(counts):
+        bar = "#" * (0 if peak == 0 else round(24 * c / peak))
+        lines.append(f"  {i * step:>8} |{bar:<24}| {c}")
+    return "\n".join(lines)

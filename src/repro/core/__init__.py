@@ -1,0 +1,44 @@
+"""The hybrid shelf/IQ out-of-order SMT core — the paper's contribution.
+
+Public surface:
+
+* :class:`CoreConfig` — all microarchitectural parameters (Table I);
+* :class:`Pipeline` / :func:`simulate` — the cycle-level simulator;
+* :class:`SimResult` — timing, per-thread CPI, event counts;
+* steering policies via :func:`make_steering` or ``CoreConfig.steering``.
+"""
+
+from repro.core.config import CoreConfig
+from repro.core.dynamic import DynInstr
+from repro.core.pipeline import DeadlockError, Pipeline, simulate
+from repro.core.stats import EventCounts, SimResult, ThreadResult
+from repro.core.steering import (
+    ComparisonSteering,
+    IQOnlySteering,
+    OracleSteering,
+    PracticalSteering,
+    ShelfOnlySteering,
+    SteeringPolicy,
+    make_steering,
+)
+from repro.core.steering_ext import AdaptiveSteering, CoarseGrainSteering
+
+__all__ = [
+    "CoreConfig",
+    "DynInstr",
+    "DeadlockError",
+    "Pipeline",
+    "simulate",
+    "EventCounts",
+    "SimResult",
+    "ThreadResult",
+    "ComparisonSteering",
+    "IQOnlySteering",
+    "OracleSteering",
+    "PracticalSteering",
+    "ShelfOnlySteering",
+    "SteeringPolicy",
+    "make_steering",
+    "AdaptiveSteering",
+    "CoarseGrainSteering",
+]

@@ -1,0 +1,155 @@
+"""Core configuration, mirroring the paper's Table I.
+
+The three evaluated designs are factory-built in
+:mod:`repro.harness.configs`:
+
+* ``Base64``  — 64-entry ROB, 32-entry IQ/LQ/SQ, no shelf (baseline);
+* ``Base64+Shelf64`` — baseline plus a 64-entry shelf (conservative or
+  optimistic same-cycle-issue assumptions);
+* ``Base128`` — every OOO structure doubled (the paper's upper bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.isa.instruction import NUM_ARCH_REGS
+from repro.memory.hierarchy import HierarchyConfig
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """All microarchitectural parameters of one simulated core."""
+
+    # SMT and widths (Table I: 4-thread, 4-wide OOO with 8-wide fetch).
+    num_threads: int = 4
+    fetch_width: int = 8
+    dispatch_width: int = 4
+    issue_width: int = 4
+    retire_width: int = 4
+    fetch_to_dispatch: int = 6
+    frontend_buffer_per_thread: int = 24
+
+    # OOO structures.  ROB/LQ/SQ are partitioned per thread (paper, after
+    # [20]); the IQ is shared.  ``prf_extra`` physical registers beyond the
+    # architectural mappings bound the rename window.
+    rob_entries: int = 64
+    iq_entries: int = 32
+    lq_entries: int = 32
+    sq_entries: int = 32
+    prf_extra: Optional[int] = None  #: default: == rob_entries
+
+    # The shelf (0 disables it).  Partitioned per thread.  The extension
+    # tag space is sized to the shelf's doubled virtual index space.
+    shelf_entries: int = 0
+    shelf_same_cycle_issue: bool = False  #: optimistic (True) vs conservative
+    dual_ssr: bool = True  #: paper's IQ+shelf SSR pair; False = single SSR
+
+    # Steering policy: 'iq-only', 'shelf-only', 'practical', 'oracle'.
+    steering: str = "iq-only"
+    rct_bits: int = 5        #: Ready Cycle Table counter width (paper: 5)
+    plt_loads: int = 4       #: tracked loads per thread (paper: 4)
+
+    # Speculation bound for memory-order speculation (paper III-B assumes
+    # speculation is "bounded by a known maximum latency that is a function
+    # of the pipeline").
+    spec_mem_bound: int = 8
+
+    # Memory structures.
+    store_buffer_lines: int = 8  #: per-thread coalescing store buffer
+    store_set_bits: int = 10     #: log2 SSIT entries
+
+    # Consistency model: 'relaxed' is the paper's evaluated ARM v7 model.
+    # 'tso' implements the Section III-D sketch the paper defers: no store
+    # coalescing, shelf stores allocate SQ entries, loads stay speculative
+    # until all elder loads complete (shelf writeback holds accordingly).
+    memory_model: str = "relaxed"
+
+    # Fetch policy: 'icount' (paper), 'icount2', or 'round-robin'.
+    fetch_policy: str = "icount"
+    # Branch direction predictor: 'gshare' (default), 'bimodal', 'local',
+    # or 'tournament'.
+    branch_predictor: str = "gshare"
+
+    clock_ghz: float = 2.0
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+
+    # ------------------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError("need at least one thread")
+        for name in ("rob_entries", "lq_entries", "sq_entries"):
+            if getattr(self, name) % self.num_threads:
+                raise ValueError(f"{name}={getattr(self, name)} not divisible "
+                                 f"by {self.num_threads} threads")
+        if self.shelf_entries:
+            per = self.shelf_entries // self.num_threads
+            if per * self.num_threads != self.shelf_entries:
+                raise ValueError("shelf_entries must split evenly per thread")
+            if per & (per - 1):
+                raise ValueError("per-thread shelf size must be a power of "
+                                 "two (doubled virtual index space)")
+        if self.steering not in ("iq-only", "shelf-only", "practical",
+                                 "oracle"):
+            raise ValueError(f"unknown steering policy {self.steering!r}")
+        if self.memory_model not in ("relaxed", "tso"):
+            raise ValueError(f"unknown memory model {self.memory_model!r}")
+        if self.branch_predictor not in ("gshare", "bimodal", "local",
+                                         "tournament"):
+            raise ValueError(
+                f"unknown branch predictor {self.branch_predictor!r}")
+        if self.steering != "iq-only" and self.shelf_entries == 0:
+            raise ValueError(f"steering {self.steering!r} needs a shelf")
+
+    # -- derived sizes ----------------------------------------------------
+
+    @property
+    def rob_per_thread(self) -> int:
+        return self.rob_entries // self.num_threads
+
+    @property
+    def lq_per_thread(self) -> int:
+        return self.lq_entries // self.num_threads
+
+    @property
+    def sq_per_thread(self) -> int:
+        return self.sq_entries // self.num_threads
+
+    @property
+    def shelf_per_thread(self) -> int:
+        return self.shelf_entries // self.num_threads
+
+    @property
+    def prf_entries(self) -> int:
+        """Physical register file size: architectural state + window."""
+        extra = self.prf_extra if self.prf_extra is not None \
+            else self.rob_entries
+        return NUM_ARCH_REGS * self.num_threads + extra
+
+    @property
+    def ext_tags(self) -> int:
+        """Extension tag space size.
+
+        One extension tag can be live per virtual shelf index (2x shelf
+        entries), plus one per architectural register whose *current*
+        mapping was produced by a shelf instruction — those tags stay live
+        after the producing instruction retires, until the next writer of
+        the register retires (paper Figure 6's life cycle).
+        """
+        if not self.shelf_entries:
+            return 0
+        return 2 * self.shelf_entries + NUM_ARCH_REGS * self.num_threads
+
+    def with_threads(self, num_threads: int) -> "CoreConfig":
+        """This configuration resized to *num_threads* (partitions follow)."""
+        return replace(self, num_threads=num_threads)
+
+    def label(self) -> str:
+        """Short label for reports, e.g. ``Base64+Shelf64``."""
+        base = f"Base{self.rob_entries}"
+        if self.shelf_entries:
+            mode = "opt" if self.shelf_same_cycle_issue else "cons"
+            return f"{base}+Shelf{self.shelf_entries}({self.steering},{mode})"
+        return base

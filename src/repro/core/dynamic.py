@@ -1,0 +1,115 @@
+"""Mutable per-in-flight-instruction state.
+
+One :class:`DynInstr` is created each time an instruction enters the
+pipeline (a squashed-and-replayed instruction gets a fresh record with the
+same per-thread sequence number but a younger global age).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.rename.rat import RenameRecord
+
+#: Sentinel for "not yet" cycle fields.
+NEVER = -1
+
+
+class DynInstr:
+    """In-flight instruction state threaded through every pipeline stage."""
+
+    __slots__ = (
+        "tid", "seq", "gseq", "instr", "op", "latency",
+        "frontend_ready", "mispredicted",
+        "to_shelf", "rename", "src_tags", "dest_tag", "dest_pri", "prev_tag",
+        "rob_idx", "shelf_idx", "last_iq_rob_idx", "shelf_squash_idx",
+        "first_in_run", "ssr_copied", "order_idx", "steer_cached",
+        "dispatch_cycle", "issue_cycle", "complete_cycle", "retire_cycle",
+        "issued", "executed", "completed", "retired", "squashed",
+        "mem_latency", "forwarded_from", "forwarded_seq",
+        "speculative_load", "retry_after",
+        "lq_slot", "sq_slot", "waiting_store",
+        "classified_in_sequence",
+    )
+
+    def __init__(self, tid: int, seq: int, gseq: int,
+                 instr: Instruction, latency: int) -> None:
+        self.tid = tid
+        self.seq = seq          #: per-thread trace position (stable)
+        self.gseq = gseq        #: global fetch order (age for select)
+        self.instr = instr
+        self.op: OpClass = instr.op
+        self.latency = latency  #: base execution latency
+
+        self.frontend_ready = NEVER  #: cycle it may dispatch
+        self.mispredicted = False    #: branch predicted wrong at fetch
+
+        # Rename / steering results.
+        self.to_shelf = False
+        self.rename: Optional[RenameRecord] = None
+        self.src_tags: Tuple[int, ...] = ()
+        self.dest_tag: Optional[int] = None
+        self.dest_pri: Optional[int] = None
+        self.prev_tag: Optional[int] = None  #: dest's previous tag (WAW check)
+
+        # Window bookkeeping.
+        self.rob_idx: Optional[int] = None          #: issue-tracker index (IQ)
+        self.shelf_idx: Optional[int] = None        #: virtual index (shelf)
+        self.last_iq_rob_idx = -1                   #: run boundary (shelf)
+        self.shelf_squash_idx: Optional[int] = None  #: next shelf idx (IQ)
+        self.first_in_run = False
+        self.ssr_copied = False
+        self.order_idx: Optional[int] = None  #: program-order tracker index
+        self.steer_cached: Optional[bool] = None  #: steering decision memo
+
+        # Timing.
+        self.dispatch_cycle = NEVER
+        self.issue_cycle = NEVER
+        self.complete_cycle = NEVER
+        self.retire_cycle = NEVER
+        self.issued = False
+        self.executed = False    #: memory ops: address/data produced
+        self.completed = False
+        self.retired = False
+        self.squashed = False
+
+        # Memory behaviour.
+        self.mem_latency = 0
+        self.retry_after = 0  #: structural replay backoff (MSHRs full)
+        self.forwarded_from: Optional[int] = None  #: gseq of forwarding store
+        self.forwarded_seq: Optional[int] = None   #: its per-thread seq
+        self.speculative_load = False  #: issued past an un-executed elder store
+        self.lq_slot = False
+        self.sq_slot = False
+        self.waiting_store: Optional["DynInstr"] = None  #: store-set dependence
+
+        # Filled by the classifier (None until classified).
+        self.classified_in_sequence: Optional[bool] = None
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op is OpClass.LOAD or self.op is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op is OpClass.BRANCH
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = "shelf" if self.to_shelf else "iq"
+        state = ("retired" if self.retired else
+                 "completed" if self.completed else
+                 "issued" if self.issued else "waiting")
+        return (f"DynInstr(t{self.tid}#{self.seq} {self.op.name} "
+                f"{where} {state})")

@@ -1,0 +1,65 @@
+"""Per-thread issue-tracking bitvector (paper Section III-A, Figure 4).
+
+IQ instructions issue out of program order, so a shelf instruction at the
+head of its FIFO must be able to tell whether every IQ instruction from
+the immediately preceding series of its *run* has issued.  The paper
+allocates one bit per ROB entry: cleared at dispatch, set at issue, with a
+head pointer tracking the oldest unissued IQ instruction.
+
+We use a monotonically increasing per-thread index (the ROB allocation
+sequence) rather than wrap-around indices, which keeps the "has the head
+pointer moved past index i" comparison a plain integer ``>``.
+"""
+
+from __future__ import annotations
+
+
+class IssueTracker:
+    """Oldest-unissued-IQ-instruction tracker for one thread."""
+
+    def __init__(self) -> None:
+        self.tail = 0          #: next index to allocate
+        self.head = 0          #: oldest index not yet issued
+        self._unissued = set()
+
+    def allocate(self) -> int:
+        """Dispatch of an IQ instruction: clear its bit, return its index."""
+        idx = self.tail
+        self.tail += 1
+        self._unissued.add(idx)
+        return idx
+
+    def mark_issued(self, idx: int) -> None:
+        """Issue of the IQ instruction holding *idx*: set its bit and let
+        the head pointer advance over the issued prefix."""
+        self._unissued.discard(idx)
+        while self.head < self.tail and self.head not in self._unissued:
+            self.head += 1
+
+    def discard(self, idx: int) -> None:
+        """Squash: treat the index as issued so it never blocks the head."""
+        self.mark_issued(idx)
+
+    def all_issued_through(self, idx: int) -> bool:
+        """True iff every IQ instruction with index <= *idx* has issued.
+
+        This is the shelf-head eligibility test: a shelf instruction that
+        recorded ``last_iq_rob_idx = idx`` at dispatch may issue in program
+        order once this returns True (paper Section III-A).
+        """
+        return self.head > idx
+
+    @property
+    def last_allocated(self) -> int:
+        """Index of the most recently dispatched IQ instruction (-1 if
+        none) — what a dispatching shelf instruction records."""
+        return self.tail - 1
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._unissued)
+
+    def snapshot_head(self) -> int:
+        """Start-of-cycle head value, for the conservative (no same-cycle
+        issue) critical-path assumption."""
+        return self.head

@@ -1,0 +1,274 @@
+"""Per-thread load/store queues, store buffer, and disambiguation.
+
+IQ loads and stores allocate LQ/SQ entries at dispatch (partitioned per
+thread, paper Table I).  Shelf memory operations allocate **no** entries —
+they only record the queue tails at dispatch and, because they issue in
+program order after all elder instructions, can scan the queues without
+ever being scanned themselves (paper Section III-D).
+
+The memory model is the paper's relaxed/weak one (ARM v7): a per-thread
+coalescing store buffer absorbs retired stores and drains to the L1D; no
+ordering is enforced between stores to different addresses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.core.dynamic import DynInstr
+
+
+def _overlap(a: DynInstr, b: DynInstr) -> bool:
+    """Byte-range overlap of two memory operations."""
+    a0, a1 = a.instr.mem_addr, a.instr.mem_addr + a.instr.mem_size
+    b0, b1 = b.instr.mem_addr, b.instr.mem_addr + b.instr.mem_size
+    return a0 < b1 and b0 < a1
+
+
+class StoreBuffer:
+    """Post-retirement store buffer (line granularity).
+
+    Under the relaxed/weak model (the paper's evaluation) same-line stores
+    coalesce into one entry.  Under TSO coalescing is disabled — "strong
+    consistency models often do not permit coalescing in the store buffer"
+    (paper Section III-D) — so every retired store occupies its own slot
+    and drains to the cache strictly in order.
+    """
+
+    def __init__(self, capacity_lines: int, line_shift: int = 6,
+                 coalesce: bool = True) -> None:
+        self.capacity = capacity_lines
+        self.line_shift = line_shift
+        self.coalesce = coalesce
+        # key -> line; with coalescing the key IS the line, without it the
+        # key is a unique per-insert token so same-line stores stack up.
+        self._entries: "OrderedDict[object, int]" = OrderedDict()
+        self._lines_present: dict = {}  # line -> refcount
+        self._token = 0
+        self.coalesced = 0
+        self.inserted = 0
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self.line_shift
+
+    def contains(self, addr: int) -> bool:
+        return self._lines_present.get(self.line_of(addr), 0) > 0
+
+    def can_accept(self, addr: int) -> bool:
+        if self.coalesce and self.contains(addr):
+            return True
+        return len(self._entries) < self.capacity
+
+    def insert(self, addr: int) -> None:
+        line = self.line_of(addr)
+        if self.coalesce and line in self._entries:
+            self.coalesced += 1
+            self._entries.move_to_end(line)
+            return
+        assert len(self._entries) < self.capacity, "store buffer overflow"
+        key = line if self.coalesce else ("t", self._token)
+        self._token += 1
+        self._entries[key] = line
+        self._lines_present[line] = self._lines_present.get(line, 0) + 1
+        self.inserted += 1
+
+    def drain_one(self) -> Optional[int]:
+        """Pop the oldest entry for write-back to the cache (None if
+        empty)."""
+        if not self._entries:
+            return None
+        _, line = self._entries.popitem(last=False)
+        self._lines_present[line] -= 1
+        if not self._lines_present[line]:
+            del self._lines_present[line]
+        return line << self.line_shift
+
+    def undrain(self, addr: int) -> None:
+        """Re-insert a line whose cache write-back was rejected (MSHR
+        full); it keeps its place at the head of the drain order."""
+        line = self.line_of(addr)
+        key = line if self.coalesce else ("t", self._token)
+        self._token += 1
+        self._entries[key] = line
+        self._entries.move_to_end(key, last=False)
+        self._lines_present[line] = self._lines_present.get(line, 0) + 1
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+
+class LoadStoreQueues:
+    """One thread's LQ + SQ + store buffer."""
+
+    def __init__(self, lq_capacity: int, sq_capacity: int,
+                 store_buffer_lines: int, line_shift: int = 6,
+                 coalesce: bool = True) -> None:
+        self.lq_capacity = lq_capacity
+        self.sq_capacity = sq_capacity
+        self.lq: List[DynInstr] = []  #: IQ loads, program order
+        self.sq: List[DynInstr] = []  #: IQ stores, program order
+        self.store_buffer = StoreBuffer(store_buffer_lines, line_shift,
+                                        coalesce=coalesce)
+        #: all in-flight stores of the thread (IQ *and* shelf), program
+        #: order — shelf loads gate on elder stores having executed.
+        self.all_stores: List[DynInstr] = []
+        #: all in-flight loads (TSO: loads are speculative until every
+        #: elder load has completed, paper Section III-D).
+        self.all_loads: List[DynInstr] = []
+        self.lq_search_events = 0
+        self.sq_search_events = 0
+
+    # -- dispatch capacity -------------------------------------------------
+
+    def can_dispatch_load(self) -> bool:
+        return len(self.lq) < self.lq_capacity
+
+    def can_dispatch_store(self) -> bool:
+        return len(self.sq) < self.sq_capacity
+
+    def _prune_loads(self) -> None:
+        while self.all_loads and (self.all_loads[0].completed
+                                  or self.all_loads[0].squashed
+                                  or self.all_loads[0].retired):
+            self.all_loads.pop(0)
+
+    def dispatch_load(self, dyn: DynInstr) -> None:
+        dyn.lq_slot = True
+        self.lq.append(dyn)
+        self._prune_loads()
+        self.all_loads.append(dyn)
+
+    def dispatch_shelf_load(self, dyn: DynInstr) -> None:
+        """Shelf loads take no LQ entry but are tracked for TSO ordering."""
+        self._prune_loads()
+        self.all_loads.append(dyn)
+
+    def dispatch_store(self, dyn: DynInstr) -> None:
+        dyn.sq_slot = True
+        self.sq.append(dyn)
+        self.all_stores.append(dyn)
+
+    def dispatch_shelf_store(self, dyn: DynInstr) -> None:
+        """Shelf stores take no SQ entry but are tracked for ordering
+        (relaxed model only; under TSO they allocate real SQ entries)."""
+        self.all_stores.append(dyn)
+
+    # -- ordering queries --------------------------------------------------
+
+    def has_incomplete_elder_load(self, gseq: int) -> bool:
+        """Any load older than *gseq* that has not obtained its value?
+
+        TSO's in-window speculation window (paper Section III-D): until
+        every elder load completes, younger instructions — including all
+        shelf instructions — remain speculative and may not write back.
+        Completed/squashed list heads are pruned lazily.
+        """
+        self._prune_loads()
+        for ld in self.all_loads:
+            if ld.gseq >= gseq:
+                break
+            if not ld.completed and not ld.squashed:
+                return True
+        return False
+
+    def has_unexecuted_elder_store(self, gseq: int) -> bool:
+        """Any store older than *gseq* that has not produced addr+data?
+
+        Gates shelf loads (they scan "older IQ stores ... all of which have
+        calculated their addresses and values") and shelf-instruction
+        writeback safety (no elder store can still trigger a violation).
+        """
+        for st in self.all_stores:
+            if st.gseq >= gseq:
+                break
+            if not st.executed and not st.squashed:
+                return True
+        return False
+
+    # -- forwarding / violations ---------------------------------------------
+
+    def find_forwarding_store(self, load: DynInstr) -> Optional[DynInstr]:
+        """Youngest elder executed store whose bytes overlap *load*.
+
+        Returns None if no executed elder store matches; the caller must
+        separately decide whether an un-executed elder store makes the
+        load's issue speculative.
+        """
+        self.sq_search_events += 1
+        best: Optional[DynInstr] = None
+        for st in self.all_stores:
+            if st.gseq >= load.gseq:
+                break
+            if st.executed and not st.squashed and _overlap(st, load):
+                best = st
+        return best
+
+    def find_forwarding_load(self, load: DynInstr) -> Optional[DynInstr]:
+        """Youngest *younger* already-executed IQ load overlapping a shelf
+        load — the paper forwards from it to dodge an ordering violation."""
+        best: Optional[DynInstr] = None
+        for ld in self.lq:
+            if ld.gseq <= load.gseq or not ld.issued or ld.squashed:
+                continue
+            if _overlap(ld, load):
+                best = ld
+        return best
+
+    def violation_load(self, store: DynInstr) -> Optional[DynInstr]:
+        """Eldest younger load that issued without seeing *store*'s data.
+
+        Called when *store* executes (IQ or shelf).  A load violates when
+        it overlaps, already issued, and obtained its value from memory or
+        from a store older than *store* (paper Section III-D; the squash
+        restarts at the violating load).
+        """
+        self.lq_search_events += 1
+        worst: Optional[DynInstr] = None
+        for ld in self.lq:
+            if ld.gseq <= store.gseq or not ld.issued or ld.squashed:
+                continue
+            if not _overlap(ld, store):
+                continue
+            if ld.forwarded_from is None or ld.forwarded_from < store.gseq:
+                if worst is None or ld.seq < worst.seq:
+                    worst = ld
+        return worst
+
+    # -- retirement / squash ---------------------------------------------------
+
+    def retire_load(self, dyn: DynInstr) -> None:
+        self.lq.remove(dyn)
+        dyn.lq_slot = False
+
+    def retire_store(self, dyn: DynInstr) -> None:
+        """IQ store retires: its SQ entry moves into the store buffer."""
+        self.sq.remove(dyn)
+        self.all_stores.remove(dyn)
+        dyn.sq_slot = False
+        self.store_buffer.insert(dyn.instr.mem_addr)
+
+    def complete_shelf_store(self, dyn: DynInstr) -> None:
+        """Shelf store writes back into the buffer (releasing its SQ entry
+        if the memory model made it allocate one)."""
+        self.all_stores.remove(dyn)
+        if dyn.sq_slot:
+            self.sq.remove(dyn)
+            dyn.sq_slot = False
+        self.store_buffer.insert(dyn.instr.mem_addr)
+
+    def squash_from(self, seq: int) -> None:
+        """Drop all queue occupants with per-thread sequence >= *seq*."""
+        self.lq = [d for d in self.lq if d.seq < seq]
+        self.sq = [d for d in self.sq if d.seq < seq]
+        self.all_stores = [d for d in self.all_stores if d.seq < seq]
+        self.all_loads = [d for d in self.all_loads if d.seq < seq]
+
+    @property
+    def lq_occupancy(self) -> int:
+        return len(self.lq)
+
+    @property
+    def sq_occupancy(self) -> int:
+        return len(self.sq)

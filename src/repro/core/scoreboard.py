@@ -1,0 +1,60 @@
+"""Tag readiness scoreboard.
+
+Maps every tag in the combined tag space (physical registers + extension
+tags) to the cycle at which its value becomes available to consumers.
+This realizes both the IQ's tag-broadcast wakeup and the shelf's "ready
+bitvector" (paper Section III-C) in one timing structure: an operand with
+tag *t* is ready for an instruction issuing at cycle *c* iff
+``ready_cycle[t] <= c``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: "Not yet written" marker — larger than any reachable cycle count.
+UNWRITTEN = 1 << 60
+
+
+class Scoreboard:
+    """Ready-cycle table over the full tag space."""
+
+    def __init__(self, num_tags: int) -> None:
+        self.num_tags = num_tags
+        self._ready: List[int] = [UNWRITTEN] * num_tags
+
+    def mark_initial(self, tag: int) -> None:
+        """Architectural reset state: tag is ready from cycle 0."""
+        self._ready[tag] = 0
+
+    def set_ready(self, tag: int, cycle: int) -> None:
+        """The producer of *tag* will deliver its value at *cycle*."""
+        self._ready[tag] = cycle
+
+    def clear(self, tag: int) -> None:
+        """Tag re-allocated to a new producer: not ready until it issues."""
+        self._ready[tag] = UNWRITTEN
+
+    def ready_at(self, tag: int) -> int:
+        return self._ready[tag]
+
+    def is_ready(self, tag: int, cycle: int) -> bool:
+        return self._ready[tag] <= cycle
+
+    def all_ready(self, tags, cycle: int) -> bool:
+        """True if every tag in *tags* is ready at *cycle*."""
+        r = self._ready
+        for t in tags:
+            if r[t] > cycle:
+                return False
+        return True
+
+    def earliest_issue(self, tags) -> int:
+        """First cycle at which all *tags* are ready (UNWRITTEN if any
+        producer has not scheduled its writeback yet)."""
+        worst = 0
+        r = self._ready
+        for t in tags:
+            if r[t] > worst:
+                worst = r[t]
+        return worst

@@ -1,0 +1,123 @@
+"""The shelf: a per-thread FIFO issue buffer (paper Sections II-III).
+
+The shelf holds instructions between dispatch and issue, like the IQ, but
+instructions may only issue from its head, in program order.  Shelf
+instructions allocate no ROB entry, no new physical register, and no LQ/SQ
+entry.
+
+Two resource spaces are deliberately decoupled (paper Section III-B):
+
+* the **entry** — the expensive storage slot, recycled as soon as the
+  instruction *issues*;
+* the **virtual index** — a name used by the ROB (shelf squash index /
+  reservation pointer) and the retire bitvector, recycled only once no
+  elder ROB entry references it.  The index space is double the entry
+  count; the MSB is ignored when addressing entries.
+
+We model virtual indices as unbounded monotone integers and enforce the
+paper's capacity constraints on differences, which keeps every comparison
+a plain integer compare (no wrap-around arithmetic to get subtly wrong).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.dynamic import DynInstr
+
+
+class ShelfPartition:
+    """One thread's shelf FIFO plus its virtual index space."""
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self.index_space = 2 * entries
+        self.fifo: Deque[DynInstr] = deque()  #: dispatched, not yet issued
+        self.tail = 0          #: next virtual index to allocate
+        self.retire_ptr = 0    #: eldest unretired virtual index
+        self._retired = set()  #: retired indices above the pointer
+        self.peak_occupancy = 0
+
+    # -- capacity ---------------------------------------------------------
+
+    def can_dispatch(self, rob_reservation: Optional[int]) -> bool:
+        """True if both an entry and a virtual index are available.
+
+        *rob_reservation* is the shelf squash index stored at the head of
+        the thread's ROB (the shelf reservation pointer); ``None`` when the
+        ROB partition is empty.
+        """
+        if len(self.fifo) >= self.entries:
+            return False
+        floor = self.retire_ptr
+        if rob_reservation is not None and rob_reservation < floor:
+            floor = rob_reservation
+        return self.tail - floor < self.index_space
+
+    # -- dispatch / issue -----------------------------------------------------
+
+    def allocate(self, dyn: DynInstr) -> int:
+        """Append *dyn* at the tail; returns its virtual index."""
+        idx = self.tail
+        self.tail += 1
+        dyn.shelf_idx = idx
+        self.fifo.append(dyn)
+        if len(self.fifo) > self.peak_occupancy:
+            self.peak_occupancy = len(self.fifo)
+        return idx
+
+    @property
+    def head(self) -> Optional[DynInstr]:
+        return self.fifo[0] if self.fifo else None
+
+    def pop_issued(self) -> DynInstr:
+        """Head issued: free its entry immediately (index stays live)."""
+        return self.fifo.popleft()
+
+    # -- retirement --------------------------------------------------------
+
+    def mark_retired(self, idx: int) -> None:
+        """Shelf instruction with virtual index *idx* wrote back (retired);
+        advance the retire pointer over the contiguous retired prefix."""
+        self._retired.add(idx)
+        while self.retire_ptr in self._retired:
+            self._retired.remove(self.retire_ptr)
+            self.retire_ptr += 1
+
+    def all_retired_through(self, idx: int) -> bool:
+        """ROB retire gate: every shelf index < *idx* has retired (paper:
+        "once the shelf retire pointer matches or exceeds the stored shelf
+        index, the ROB can retire the next IQ instruction")."""
+        return self.retire_ptr >= idx
+
+    # -- squash -----------------------------------------------------------
+
+    def squash_from(self, min_idx: int) -> None:
+        """Roll the tail back to *min_idx*; drop younger FIFO occupants.
+
+        Callers squash a program-order suffix, so every index >= min_idx
+        is dead.  The SSR/writeback-hold machinery guarantees none of them
+        retired (asserted), so the retire pointer never moves backwards.
+        """
+        while self.fifo and self.fifo[-1].shelf_idx >= min_idx:
+            self.fifo.pop()
+        assert not any(i >= min_idx for i in self._retired), \
+            "squashed shelf index already retired: writeback hold violated"
+        assert self.retire_ptr <= min_idx, \
+            "retire pointer passed a squashed shelf index"
+        self.tail = min_idx
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.fifo)
+
+    @property
+    def live_indices(self) -> int:
+        return self.tail - self.retire_ptr
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ShelfPartition({len(self.fifo)}/{self.entries} entries, "
+                f"idx[{self.retire_ptr},{self.tail}))")

@@ -1,0 +1,68 @@
+"""Speculation shift registers (paper Section III-B, Figure 5).
+
+Shelf instructions skip ROB allocation and overwrite live physical
+registers, so they must not write back while any elder instruction can
+still squash them.  The paper adapts Smith & Pleszkun's result shift
+register: a per-thread counter of the maximum remaining speculation
+resolution time.  A shelf instruction may issue only when its own
+execution delay is at least the counter value (its writeback then lands
+after all tracked speculation has resolved).
+
+A single SSR suffers a starvation pathology — younger reordered IQ
+instructions keep merging fresh resolution delays, indefinitely delaying
+an elder shelf head.  The paper's fix is a *pair*: IQ instructions update
+only the IQ SSR; the IQ SSR is copied into the shelf SSR exactly when the
+first shelf instruction of a run becomes eligible for in-order issue;
+shelf instructions consult (and update) only the shelf SSR.  Both designs
+are implemented so the ablation bench can quantify the difference.
+"""
+
+from __future__ import annotations
+
+
+class SpeculationShiftRegisters:
+    """The per-thread IQ/shelf SSR pair (or a fused single SSR)."""
+
+    def __init__(self, dual: bool = True) -> None:
+        self.dual = dual
+        self.iq_ssr = 0
+        self.shelf_ssr = 0
+
+    def tick(self) -> None:
+        """One cycle elapses: both registers shift (decrement toward 0)."""
+        if self.iq_ssr:
+            self.iq_ssr -= 1
+        if self.shelf_ssr:
+            self.shelf_ssr -= 1
+
+    def record_iq_speculation(self, resolution_delay: int) -> None:
+        """A speculative IQ instruction issued; merge its resolution time."""
+        if resolution_delay > self.iq_ssr:
+            self.iq_ssr = resolution_delay
+        if not self.dual and resolution_delay > self.shelf_ssr:
+            # Single-SSR ablation: every update lands on the shelf too.
+            self.shelf_ssr = resolution_delay
+
+    def record_shelf_speculation(self, resolution_delay: int) -> None:
+        """A speculative shelf instruction issued; younger shelf
+        instructions must outlast it."""
+        if resolution_delay > self.shelf_ssr:
+            self.shelf_ssr = resolution_delay
+        if not self.dual and resolution_delay > self.iq_ssr:
+            self.iq_ssr = resolution_delay
+
+    def copy_to_shelf(self) -> None:
+        """Run boundary: first shelf instruction of a run became eligible,
+        so all elder IQ instructions have issued and contributed — snapshot
+        the IQ SSR into the shelf SSR (dual design only)."""
+        if self.dual and self.iq_ssr > self.shelf_ssr:
+            self.shelf_ssr = self.iq_ssr
+
+    def shelf_may_issue(self, min_exec_delay: int) -> bool:
+        """Paper: a shelf instruction issues only once its minimum
+        execution delay compares >= the (shelf) SSR value."""
+        return min_exec_delay >= self.shelf_ssr
+
+    def reset(self) -> None:
+        self.iq_ssr = 0
+        self.shelf_ssr = 0

@@ -1,0 +1,112 @@
+"""Event counters and simulation results.
+
+Event counts are the interface between the timing model and the energy
+model: every access to a modelled structure increments a counter here, and
+:mod:`repro.energy` prices them (McPAT-style accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EventCounts:
+    """Per-structure dynamic event counts for one simulation."""
+
+    fetches: int = 0
+    bpred_lookups: int = 0
+    branch_mispredicts: int = 0
+    renames_iq: int = 0
+    renames_shelf: int = 0
+    steer_forced_iq: int = 0  #: shelf decision overridden by resource shortage
+
+    iq_writes: int = 0
+    iq_wakeups: int = 0       #: tag broadcasts into the IQ CAM
+    iq_issues: int = 0
+    shelf_writes: int = 0
+    shelf_issues: int = 0
+
+    rob_writes: int = 0
+    rob_retires: int = 0
+    prf_reads: int = 0
+    prf_writes: int = 0
+
+    lq_writes: int = 0
+    sq_writes: int = 0
+    lq_searches: int = 0      #: associative scans (violation checks)
+    sq_searches: int = 0      #: associative scans (forwarding)
+    forwards: int = 0
+    speculative_loads: int = 0
+    violations: int = 0
+    squashes: int = 0
+    squashed_instrs: int = 0
+
+    storebuf_inserts: int = 0
+    storebuf_coalesced: int = 0
+    storebuf_drains: int = 0
+
+    fu_ops: int = 0
+    barriers: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class ThreadResult:
+    """Per-thread outcome of one simulation."""
+
+    tid: int
+    benchmark: str
+    trace_length: int
+    retired: int
+    cpi: float
+    finish_cycle: Optional[int]  #: cycle the thread retired its last instr
+    #: per trace position: 1 in-sequence, 0 reordered, 2 never issued/valid.
+    insequence_flags: bytearray = field(repr=False, default_factory=bytearray)
+
+    @property
+    def ipc(self) -> float:
+        return 1.0 / self.cpi if self.cpi else float("inf")
+
+
+@dataclass
+class SimResult:
+    """Complete outcome of one :meth:`Pipeline.run`."""
+
+    config_label: str
+    cycles: int
+    threads: List[ThreadResult]
+    events: EventCounts
+    cache_stats: Dict[str, object]
+    steering_stats: Dict[str, float]
+    occupancy: Dict[str, float]  #: average structure occupancies
+    bpred_accuracy: float
+
+    @property
+    def total_retired(self) -> int:
+        return sum(t.retired for t in self.threads)
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per cycle."""
+        return self.total_retired / self.cycles if self.cycles else 0.0
+
+    def cpi_of(self, tid: int) -> float:
+        return self.threads[tid].cpi
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest (used by examples)."""
+        lines = [f"{self.config_label}: {self.cycles} cycles, "
+                 f"IPC {self.ipc:.3f}"]
+        for t in self.threads:
+            lines.append(f"  t{t.tid} {t.benchmark:<14} retired {t.retired:>7} "
+                         f"CPI {t.cpi:.3f}")
+        ev = self.events
+        lines.append(f"  mispredicts {ev.branch_mispredicts}, "
+                     f"violations {ev.violations}, "
+                     f"shelf issues {ev.shelf_issues}, "
+                     f"iq issues {ev.iq_issues}")
+        return "\n".join(lines)

@@ -1,0 +1,360 @@
+"""Instruction steering: decide shelf vs. IQ at decode (paper Section IV).
+
+Policies:
+
+* ``iq-only``    — everything to the IQ: the conventional OOO baseline.
+* ``shelf-only`` — everything to the shelf: degenerates to an in-order
+  core (a correctness anchor; also the Hily & Seznec motivation point).
+* ``practical``  — the paper's hardware mechanism: a Ready Cycle Table of
+  5-bit countdown counters per architectural register predicts operand
+  ready times (all loads assumed L1 hits); per-thread earliest-allowable
+  issue and writeback cycles model the shelf's in-order constraints; a
+  Parent Loads Table of 4 tracked loads per thread freezes countdowns of
+  dependents when a load outruns its prediction (Figure 9).
+* ``oracle``     — the greedy oracle: same comparison, but with exact
+  latencies (functionally probing the cache for loads) and corrections
+  from the observed schedule (Section IV-A).
+
+Every policy steers by predicting the instruction's completion cycle via
+the IQ and via the shelf, choosing the earlier and breaking ties in favor
+of the shelf.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import CoreConfig
+from repro.core.dynamic import DynInstr
+from repro.isa.instruction import NUM_ARCH_REGS, Instruction
+from repro.isa.opcodes import DEFAULT_LATENCIES, OpClass, is_speculative_source
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class SteeringPolicy:
+    """Interface; concrete policies override :meth:`decide` and hooks."""
+
+    name = "abstract"
+
+    def decide(self, tid: int, instr: Instruction, cycle: int) -> bool:
+        """Return True to steer to the shelf, False to the IQ."""
+        raise NotImplementedError
+
+    # Hooks driven by the pipeline (default: ignore).
+    def tick(self, cycle: int) -> None: ...
+    def note_dispatched(self, dyn: DynInstr, cycle: int) -> None: ...
+    def on_issue(self, dyn: DynInstr, cycle: int) -> None: ...
+    def on_complete(self, dyn: DynInstr, cycle: int) -> None: ...
+    def stats(self) -> dict:
+        return {}
+
+
+class IQOnlySteering(SteeringPolicy):
+    """Baseline: the shelf (if present) is never used."""
+
+    name = "iq-only"
+
+    def decide(self, tid: int, instr: Instruction, cycle: int) -> bool:
+        return False
+
+
+class ShelfOnlySteering(SteeringPolicy):
+    """Everything in order: the core behaves like an INO machine."""
+
+    name = "shelf-only"
+
+    def decide(self, tid: int, instr: Instruction, cycle: int) -> bool:
+        return True
+
+
+class PracticalSteering(SteeringPolicy):
+    """The paper's implementable steering hardware (Section IV-B)."""
+
+    name = "practical"
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+        self.cap = (1 << config.rct_bits) - 1
+        self.num_cols = config.plt_loads
+        n = config.num_threads
+        # Ready Cycle Table: countdown (cycles until ready), clamped.
+        self._rct = [np.zeros(NUM_ARCH_REGS, dtype=np.int64)
+                     for _ in range(n)]
+        # Parent Loads Table: per-register bitmask of tracked-load columns.
+        self._plt = [np.zeros(NUM_ARCH_REGS, dtype=np.uint8)
+                     for _ in range(n)]
+        #: per thread, per column: (load DynInstr, predicted absolute
+        #: completion cycle) or None.
+        self._cols: List[List[Optional[Tuple[DynInstr, int]]]] = \
+            [[None] * self.num_cols for _ in range(n)]
+        self._earliest_issue = [0] * n   # countdown
+        self._earliest_wb = [0] * n      # countdown
+        self._late_mask = [0] * n        # PLT columns of currently-late loads
+        self.steered_shelf = 0
+        self.steered_iq = 0
+
+    def decide(self, tid: int, instr: Instruction, cycle: int) -> bool:
+        rct = self._rct[tid]
+        plt = self._plt[tid]
+        late = self._late_mask[tid]
+        # An operand fed (directly or transitively) by a late load is known
+        # to arrive far in the future — its countdown froze at a stale
+        # small value (paper Figure 9's stalled rows).  Saturate it: such
+        # dependents are in-sequence and belong on the shelf, while
+        # independent work keeps a small src_wait and stays in the IQ to
+        # reorder past the miss.  Loads are exempt: a late-fed load is a
+        # dependent chase from *some* chain, and chains stalled on
+        # different parent loads must not serialize through one FIFO —
+        # keeping them in the IQ preserves memory-level parallelism.
+        saturate = late and instr.op is not OpClass.LOAD
+        src_wait = 0
+        for s in instr.srcs:
+            w = self.cap if (saturate and plt[s] & late) else rct[s]
+            if w > src_wait:
+                src_wait = w
+        # All loads are predicted L1 hits; latency comes from decode.
+        lat = DEFAULT_LATENCIES[instr.op]
+
+        iq_issue = src_wait
+        iq_complete = iq_issue + lat
+
+        shelf_issue = max(src_wait, self._earliest_issue[tid])
+        if instr.dest is not None:
+            waw = self.cap if (late and plt[instr.dest] & late) \
+                else rct[instr.dest]  # previous writer must complete first
+            if waw > shelf_issue:
+                shelf_issue = waw
+        shelf_complete = max(shelf_issue + lat, self._earliest_wb[tid])
+
+        # numpy scalars leak in through the RCT; normalize to plain bool.
+        to_shelf = bool(shelf_complete <= iq_complete)
+        if to_shelf:
+            self.steered_shelf += 1
+            chosen_issue, chosen_complete = shelf_issue, shelf_complete
+        else:
+            self.steered_iq += 1
+            chosen_issue, chosen_complete = iq_issue, iq_complete
+
+        # Every dispatched instruction raises the shelf's in-order floor.
+        if chosen_issue > self._earliest_issue[tid]:
+            self._earliest_issue[tid] = min(chosen_issue, self.cap)
+        if is_speculative_source(instr.op):
+            res = chosen_complete
+            if res > self._earliest_wb[tid]:
+                self._earliest_wb[tid] = min(res, self.cap)
+
+        # RCT / PLT destination updates.
+        if instr.dest is not None:
+            rct[instr.dest] = min(chosen_complete, self.cap)
+            plt = self._plt[tid]
+            row = np.uint8(0)
+            for s in instr.srcs:
+                row |= plt[s]
+            plt[instr.dest] = row
+        return to_shelf
+
+    def note_dispatched(self, dyn: DynInstr, cycle: int) -> None:
+        """Called after the DynInstr exists: assign a PLT column to loads."""
+        if not dyn.is_load or dyn.instr.dest is None:
+            return
+        cols = self._cols[dyn.tid]
+        for i, slot in enumerate(cols):
+            if slot is None:
+                predicted = cycle + int(self._rct[dyn.tid][dyn.instr.dest])
+                cols[i] = (dyn, predicted)
+                self._plt[dyn.tid][dyn.instr.dest] |= np.uint8(1 << i)
+                return
+
+    def tick(self, cycle: int) -> None:
+        """Per-cycle countdown with parent-load stall correction."""
+        for tid in range(self.config.num_threads):
+            cols = self._cols[tid]
+            late_mask = 0
+            for i, slot in enumerate(cols):
+                if slot is None:
+                    continue
+                dyn, predicted = slot
+                if dyn.completed or dyn.squashed:
+                    # Load done: free the column, reset its bits everywhere.
+                    cols[i] = None
+                    self._plt[tid] &= np.uint8(~(1 << i) & 0xFF)
+                elif cycle >= predicted:
+                    late_mask |= 1 << i
+            self._late_mask[tid] = late_mask
+            rct = self._rct[tid]
+            if late_mask:
+                stalled = (self._plt[tid] & np.uint8(late_mask)) != 0
+                np.subtract(rct, 1, out=rct, where=~stalled)
+                np.maximum(rct, 0, out=rct)
+                # The in-order floors freeze with the rows: pending shelf
+                # occupants fed by the late load will not issue while it
+                # is outstanding, so the 5-bit floor must not decay below
+                # the (unknown, far-future) in-order issue point.  Without
+                # this, short independent recurrences start tying onto the
+                # shelf mid-miss and serialize behind it.
+            else:
+                np.subtract(rct, 1, out=rct)
+                np.maximum(rct, 0, out=rct)
+                if self._earliest_issue[tid]:
+                    self._earliest_issue[tid] -= 1
+                if self._earliest_wb[tid]:
+                    self._earliest_wb[tid] -= 1
+
+    def stats(self) -> dict:
+        total = self.steered_shelf + self.steered_iq
+        return {
+            "steered_shelf": self.steered_shelf,
+            "steered_iq": self.steered_iq,
+            "shelf_fraction": self.steered_shelf / total if total else 0.0,
+        }
+
+
+class OracleSteering(SteeringPolicy):
+    """Greedy oracle: exact latencies, functional cache query, corrected by
+    the observed schedule (paper Section IV-A)."""
+
+    name = "oracle"
+
+    def __init__(self, config: CoreConfig,
+                 hierarchy: MemoryHierarchy) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        n = config.num_threads
+        self._ready = [[0] * NUM_ARCH_REGS for _ in range(n)]  # absolute
+        self._earliest_issue = [0] * n
+        self._earliest_wb = [0] * n
+        self.steered_shelf = 0
+        self.steered_iq = 0
+
+    def _latency(self, instr: Instruction) -> int:
+        if instr.op is OpClass.LOAD:
+            # Functional, non-mutating cache probe — exact latency "oracle".
+            return self.hierarchy.probe_data(instr.mem_addr)
+        return DEFAULT_LATENCIES[instr.op]
+
+    def decide(self, tid: int, instr: Instruction, cycle: int) -> bool:
+        ready = self._ready[tid]
+        floor = cycle + 1  # can issue no earlier than the cycle after dispatch
+        src_ready = floor
+        for s in instr.srcs:
+            r = ready[s]
+            if r > src_ready:
+                src_ready = r
+        lat = self._latency(instr)
+
+        iq_issue = src_ready
+
+        # Shelf issue: in-order floor, WAW on the destination's previous
+        # writer, and the SSR delay (a shelf instruction may not issue
+        # until its execution delay covers outstanding speculation).
+        shelf_issue = max(src_ready, self._earliest_issue[tid], floor,
+                          self._earliest_wb[tid] - lat)
+        if instr.dest is not None and ready[instr.dest] > shelf_issue:
+            shelf_issue = ready[instr.dest]
+
+        # Paper Section IV-A: the greedy oracle "steers each instruction
+        # according to whether it would issue earlier from the IQ or the
+        # shelf (breaking ties in favor of the shelf)".
+        to_shelf = shelf_issue <= iq_issue
+        if to_shelf:
+            self.steered_shelf += 1
+            chosen_issue = shelf_issue
+        else:
+            self.steered_iq += 1
+            chosen_issue = iq_issue
+        chosen_complete = chosen_issue + lat
+
+        if chosen_issue > self._earliest_issue[tid]:
+            self._earliest_issue[tid] = chosen_issue
+        if is_speculative_source(instr.op) and \
+                chosen_complete > self._earliest_wb[tid]:
+            self._earliest_wb[tid] = chosen_complete
+        if instr.dest is not None:
+            ready[instr.dest] = chosen_complete
+        return to_shelf
+
+    # -- schedule corrections from the live simulation -----------------------
+
+    def on_issue(self, dyn: DynInstr, cycle: int) -> None:
+        if cycle > self._earliest_issue[dyn.tid]:
+            self._earliest_issue[dyn.tid] = cycle
+
+    def on_complete(self, dyn: DynInstr, cycle: int) -> None:
+        rec = dyn.rename
+        if rec is not None and rec.arch is not None:
+            if self._ready[dyn.tid][rec.arch] < cycle:
+                self._ready[dyn.tid][rec.arch] = cycle
+        if is_speculative_source(dyn.op) and cycle > self._earliest_wb[dyn.tid]:
+            self._earliest_wb[dyn.tid] = cycle
+
+    def stats(self) -> dict:
+        total = self.steered_shelf + self.steered_iq
+        return {
+            "steered_shelf": self.steered_shelf,
+            "steered_iq": self.steered_iq,
+            "shelf_fraction": self.steered_shelf / total if total else 0.0,
+        }
+
+
+class ComparisonSteering(SteeringPolicy):
+    """Follow *primary*, also query *shadow*, count disagreements.
+
+    Used to reproduce the paper's "approximately 16% of instructions are
+    steered incorrectly by the practical mechanism relative to the oracle"
+    measurement (Section V-A) within a single simulation.
+    """
+
+    def __init__(self, primary: SteeringPolicy,
+                 shadow: SteeringPolicy) -> None:
+        self.primary = primary
+        self.shadow = shadow
+        self.name = f"{primary.name}-vs-{shadow.name}"
+        self.agreements = 0
+        self.disagreements = 0
+
+    def decide(self, tid: int, instr: Instruction, cycle: int) -> bool:
+        p = self.primary.decide(tid, instr, cycle)
+        s = self.shadow.decide(tid, instr, cycle)
+        if p == s:
+            self.agreements += 1
+        else:
+            self.disagreements += 1
+        return p
+
+    def tick(self, cycle: int) -> None:
+        self.primary.tick(cycle)
+        self.shadow.tick(cycle)
+
+    def note_dispatched(self, dyn: DynInstr, cycle: int) -> None:
+        self.primary.note_dispatched(dyn, cycle)
+        self.shadow.note_dispatched(dyn, cycle)
+
+    def on_issue(self, dyn: DynInstr, cycle: int) -> None:
+        self.primary.on_issue(dyn, cycle)
+        self.shadow.on_issue(dyn, cycle)
+
+    def on_complete(self, dyn: DynInstr, cycle: int) -> None:
+        self.primary.on_complete(dyn, cycle)
+        self.shadow.on_complete(dyn, cycle)
+
+    def stats(self) -> dict:
+        total = self.agreements + self.disagreements
+        out = {f"primary_{k}": v for k, v in self.primary.stats().items()}
+        out["missteer_fraction"] = (self.disagreements / total) if total else 0.0
+        return out
+
+
+def make_steering(config: CoreConfig,
+                  hierarchy: MemoryHierarchy) -> SteeringPolicy:
+    """Build the steering policy named by ``config.steering``."""
+    if config.steering == "iq-only":
+        return IQOnlySteering()
+    if config.steering == "shelf-only":
+        return ShelfOnlySteering()
+    if config.steering == "practical":
+        return PracticalSteering(config)
+    if config.steering == "oracle":
+        return OracleSteering(config, hierarchy)
+    raise ValueError(f"unknown steering {config.steering!r}")

@@ -1,0 +1,152 @@
+"""Steering extensions beyond the paper's four policies.
+
+* :class:`CoarseGrainSteering` — applies a base policy's recommendations
+  in fixed-size *blocks* per thread, emulating the coarse-grained hybrid
+  INO/OOO designs the paper argues against ([3], [4], MorphCore [23]):
+  those switch modes at hundred- to thousand-instruction granularity and
+  therefore "cannot exploit the in-sequence phenomenon without
+  sacrificing performance on reordered instructions" (Section I).  At
+  granularity 1 it degenerates to the base policy; sweeping granularity
+  quantifies the paper's central fine-interleaving claim (series lengths
+  average 5-20 instructions, Figure 2).
+
+* :class:`AdaptiveSteering` — the paper's escape hatch made concrete:
+  "the shelf can easily be disabled by steering all instructions to the
+  IQ if it causes pathological behavior in a particular workload"
+  (Section V-C).  Duty-cycles each thread between shelf-enabled and
+  shelf-disabled probe epochs, locks into whichever completed more
+  instructions, and re-probes periodically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.dynamic import DynInstr
+from repro.core.steering import SteeringPolicy
+from repro.isa.instruction import Instruction
+
+
+class CoarseGrainSteering(SteeringPolicy):
+    """Blockwise application of a base policy's decisions."""
+
+    def __init__(self, base: SteeringPolicy, num_threads: int,
+                 granularity: int = 1000) -> None:
+        if granularity < 1:
+            raise ValueError("granularity must be >= 1")
+        self.base = base
+        self.granularity = granularity
+        self.name = f"coarse({base.name},{granularity})"
+        self._votes = [0] * num_threads      # shelf votes in current block
+        self._count = [0] * num_threads      # instructions in current block
+        self._mode = [False] * num_threads   # block decision being applied
+        self.steered_shelf = 0
+        self.steered_iq = 0
+
+    def decide(self, tid: int, instr: Instruction, cycle: int) -> bool:
+        # The base policy still observes every instruction (its tables
+        # must track the schedule), but its answer only takes effect at
+        # block boundaries.
+        vote = self.base.decide(tid, instr, cycle)
+        decision = self._mode[tid] if self.granularity > 1 else vote
+        self._votes[tid] += int(vote)
+        self._count[tid] += 1
+        if self._count[tid] >= self.granularity:
+            # Majority of the finished block decides the next block's mode.
+            self._mode[tid] = self._votes[tid] * 2 >= self._count[tid]
+            self._votes[tid] = 0
+            self._count[tid] = 0
+        if decision:
+            self.steered_shelf += 1
+        else:
+            self.steered_iq += 1
+        return decision
+
+    def tick(self, cycle: int) -> None:
+        self.base.tick(cycle)
+
+    def note_dispatched(self, dyn: DynInstr, cycle: int) -> None:
+        self.base.note_dispatched(dyn, cycle)
+
+    def on_issue(self, dyn: DynInstr, cycle: int) -> None:
+        self.base.on_issue(dyn, cycle)
+
+    def on_complete(self, dyn: DynInstr, cycle: int) -> None:
+        self.base.on_complete(dyn, cycle)
+
+    def stats(self) -> dict:
+        total = self.steered_shelf + self.steered_iq
+        return {
+            "steered_shelf": self.steered_shelf,
+            "steered_iq": self.steered_iq,
+            "shelf_fraction": self.steered_shelf / total if total else 0.0,
+            "granularity": float(self.granularity),
+        }
+
+
+class AdaptiveSteering(SteeringPolicy):
+    """Per-thread shelf enable/disable driven by measured progress."""
+
+    #: epoch phases
+    _PROBE_ON, _PROBE_OFF, _LOCKED = range(3)
+
+    def __init__(self, base: SteeringPolicy, num_threads: int,
+                 epoch_cycles: int = 2000, locked_epochs: int = 8) -> None:
+        self.base = base
+        self.name = f"adaptive({base.name})"
+        self.epoch_cycles = epoch_cycles
+        self.locked_epochs = locked_epochs
+        n = num_threads
+        self._phase = [self._PROBE_ON] * n
+        self._enabled = [True] * n
+        self._completions = [0] * n
+        self._probe_on_score = [0] * n
+        self._locked_left = [0] * n
+        self._epoch_start = 0
+        self.disable_decisions = 0
+
+    def decide(self, tid: int, instr: Instruction, cycle: int) -> bool:
+        vote = self.base.decide(tid, instr, cycle)
+        return vote and self._enabled[tid]
+
+    def on_complete(self, dyn: DynInstr, cycle: int) -> None:
+        self.base.on_complete(dyn, cycle)
+        self._completions[dyn.tid] += 1
+
+    def tick(self, cycle: int) -> None:
+        self.base.tick(cycle)
+        if cycle - self._epoch_start < self.epoch_cycles:
+            return
+        self._epoch_start = cycle
+        for tid in range(len(self._phase)):
+            phase = self._phase[tid]
+            done = self._completions[tid]
+            self._completions[tid] = 0
+            if phase == self._PROBE_ON:
+                self._probe_on_score[tid] = done
+                self._enabled[tid] = False
+                self._phase[tid] = self._PROBE_OFF
+            elif phase == self._PROBE_OFF:
+                use_shelf = self._probe_on_score[tid] >= done
+                self._enabled[tid] = use_shelf
+                if not use_shelf:
+                    self.disable_decisions += 1
+                self._phase[tid] = self._LOCKED
+                self._locked_left[tid] = self.locked_epochs
+            else:
+                self._locked_left[tid] -= 1
+                if self._locked_left[tid] <= 0:
+                    self._enabled[tid] = True
+                    self._phase[tid] = self._PROBE_ON
+
+    def note_dispatched(self, dyn: DynInstr, cycle: int) -> None:
+        self.base.note_dispatched(dyn, cycle)
+
+    def on_issue(self, dyn: DynInstr, cycle: int) -> None:
+        self.base.on_issue(dyn, cycle)
+
+    def stats(self) -> dict:
+        out = dict(self.base.stats())
+        out["adaptive_disables"] = float(self.disable_decisions)
+        out["threads_shelf_enabled"] = float(sum(self._enabled))
+        return out

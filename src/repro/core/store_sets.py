@@ -1,0 +1,92 @@
+"""Store-sets memory dependence predictor (Chrysos & Emer, paper [9]).
+
+Prevents frequent memory-order-violation squashes by making loads wait for
+the specific stores they have conflicted with in the past.  The classic
+two-table organization:
+
+* SSIT — store-set ID table, indexed by instruction PC;
+* LFST — last fetched store table, mapping a store-set ID to the most
+  recent in-flight store of that set.
+
+On a violation, the load and store PCs are assigned to a common set.  A
+load whose set has an in-flight, not-yet-executed store must wait for it;
+a store entering the window replaces its set's LFST entry (and, per the
+paper's shelf handling, shelf stores "use their store set identifier to
+release dependent younger loads, just as IQ stores do").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.dynamic import DynInstr
+
+
+class StoreSets:
+    """PC-indexed store-set predictor shared by all threads (PCs are
+    per-thread address spaces in our traces, so aliasing across threads is
+    rare and harmless, matching a tagged physical implementation)."""
+
+    def __init__(self, table_bits: int = 10) -> None:
+        self._mask = (1 << table_bits) - 1
+        self._ssit: Dict[int, int] = {}   #: pc-index -> ssid
+        self._lfst: Dict[int, DynInstr] = {}  #: ssid -> last in-flight store
+        self._next_ssid = 0
+        self.violations_trained = 0
+
+    def _index(self, tid: int, pc: int) -> int:
+        return ((pc >> 2) ^ (tid << 8)) & self._mask
+
+    # -- prediction -----------------------------------------------------------
+
+    def store_dispatched(self, store: DynInstr) -> None:
+        """A store entered the window: it becomes its set's last store."""
+        ssid = self._ssit.get(self._index(store.tid, store.instr.pc))
+        if ssid is not None:
+            self._lfst[ssid] = store
+
+    def store_executed(self, store: DynInstr) -> None:
+        """The store produced address+data: dependent loads are released."""
+        ssid = self._ssit.get(self._index(store.tid, store.instr.pc))
+        if ssid is not None and self._lfst.get(ssid) is store:
+            del self._lfst[ssid]
+
+    def store_squashed(self, store: DynInstr) -> None:
+        """Squash cleanup — identical effect to execution for the LFST."""
+        self.store_executed(store)
+
+    def load_must_wait_for(self, load: DynInstr) -> Optional[DynInstr]:
+        """The store this load is predicted to depend on, if it is still
+        in flight and has not executed; else None (load may issue)."""
+        ssid = self._ssit.get(self._index(load.tid, load.instr.pc))
+        if ssid is None:
+            return None
+        store = self._lfst.get(ssid)
+        if store is None or store.executed or store.squashed:
+            return None
+        if store.tid != load.tid or store.gseq >= load.gseq:
+            return None  # not an elder store of this thread
+        return store
+
+    # -- training -----------------------------------------------------------
+
+    def train_violation(self, load: DynInstr, store: DynInstr) -> None:
+        """A store executed and found a younger, already-issued load with a
+        matching address: merge both PCs into one store set."""
+        self.violations_trained += 1
+        li = self._index(load.tid, load.instr.pc)
+        si = self._index(store.tid, store.instr.pc)
+        ssid = self._ssit.get(li)
+        if ssid is None:
+            ssid = self._ssit.get(si)
+        if ssid is None:
+            ssid = self._next_ssid
+            self._next_ssid += 1
+        self._ssit[li] = ssid
+        self._ssit[si] = ssid
+
+    def reset(self) -> None:
+        self._ssit.clear()
+        self._lfst.clear()
+        self._next_ssid = 0
+        self.violations_trained = 0

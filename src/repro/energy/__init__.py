@@ -1,0 +1,34 @@
+"""McPAT-style analytic energy, power and area model.
+
+The paper extends McPAT [21] (with the corrections of [22]) to model the
+shelf, the extended RAT/free lists, the widened scheduling logic, the
+speculation shift registers, and the steering structures, and reports core
+power *including L1 caches* (L2 and DRAM excluded).
+
+This module reproduces that accounting analytically: each modelled
+structure has a storage kind (RAM / CAM / FIFO / table) whose per-access
+energy, leakage and area scale with its entry count and payload width —
+the same relative scaling McPAT's circuit models produce, which is what
+the paper's relative results (Figure 13, Figure 14, Table II) depend on.
+"""
+
+from repro.energy.model import (
+    AreaReport,
+    EnergyReport,
+    StructureSpec,
+    area_report,
+    core_structures,
+    energy_report,
+)
+from repro.energy.edp import edp, edp_improvement
+
+__all__ = [
+    "AreaReport",
+    "EnergyReport",
+    "StructureSpec",
+    "area_report",
+    "core_structures",
+    "energy_report",
+    "edp",
+    "edp_improvement",
+]

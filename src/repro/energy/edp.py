@@ -1,0 +1,22 @@
+"""Energy-delay product helpers (paper Figure 13's metric)."""
+
+from __future__ import annotations
+
+from repro.energy.model import EnergyReport
+
+
+def edp(report: EnergyReport) -> float:
+    """Energy-delay product in joule-seconds (lower is better)."""
+    return report.energy_j * report.time_s
+
+
+def edp_improvement(candidate: EnergyReport, baseline: EnergyReport) -> float:
+    """Fractional EDP improvement of *candidate* over *baseline*.
+
+    Positive means the candidate is better (the paper reports e.g. the
+    64+64 shelf design improving EDP by 10.9% over Base64).
+    """
+    base = edp(baseline)
+    if base <= 0:
+        raise ValueError("baseline EDP must be positive")
+    return 1.0 - edp(candidate) / base

@@ -1,0 +1,258 @@
+"""Structure-level energy / leakage / area models.
+
+Each microarchitectural structure is a :class:`StructureSpec` with a
+storage *kind* that sets its scaling behaviour:
+
+========  ==========================================================
+``ram``   pointer-addressed array (ROB, PRF): access cost grows with
+          the square root of entry count (bitline/wordline lengths).
+``cam``   fully-associative search (IQ wakeup, LQ/SQ scans): every
+          access touches all entries — linear scaling, doubled cell
+          area for the match logic.
+``fifo``  head/tail-addressed queue (the shelf): access cost nearly
+          independent of depth — this asymmetry versus the CAM
+          structures is precisely the paper's efficiency argument.
+``table`` small direct-indexed tables (RAT, RCT, PLT, predictors).
+========  ==========================================================
+
+Absolute numbers are synthetic-but-plausible (pJ / mW / relative area
+units at the paper's 2 GHz); the *ratios* between kinds follow McPAT's
+circuit models, which is what the reproduced figures measure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.config import CoreConfig
+from repro.core.stats import SimResult
+from repro.isa.instruction import NUM_ARCH_REGS
+
+# -- per-kind coefficients ---------------------------------------------------
+
+#: dynamic energy: pJ per access = COEF * width_bits * scale(entries)
+_ENERGY_COEF = {"ram": 0.0016, "cam": 0.0024, "fifo": 0.0015,
+                "table": 0.0018}
+#: leakage: mW per bit-cell
+_LEAK_COEF = {"ram": 0.00014, "cam": 0.00028, "fifo": 0.00014,
+              "table": 0.00016, "cache": 0.00008}
+#: area: relative units per bit-cell
+_AREA_COEF = {"ram": 1.0, "cam": 2.0, "fifo": 0.8, "table": 1.0,
+              "cache": 0.25}
+
+#: fixed blocks (front end, decoders, FUs, bypass, misc control): these do
+#: not change across the paper's configurations, so they enter totals as
+#: constants.  Units match the structure models above.
+_FIXED_AREA_UNITS = 238_000.0
+_FIXED_LEAK_MW = 180.0
+#: pJ per cycle of clock/misc activity independent of instructions.
+_FIXED_CYCLE_PJ = 90.0
+
+#: per-event energies for fixed-function activity (pJ).
+_FETCH_PJ = 5.0
+_DECODE_RENAME_PJ = 6.5
+_FU_OP_PJ = 11.0
+_BPRED_PJ = 3.0
+_L1_ACCESS_PJ = 22.0
+
+
+def _scale(kind: str, entries: int) -> float:
+    if kind == "cam":
+        return float(entries)
+    if kind == "fifo":
+        return max(1.0, math.log2(max(entries, 2)))
+    return math.sqrt(max(entries, 1))
+
+
+@dataclass(frozen=True)
+class StructureSpec:
+    """One modelled storage structure."""
+
+    name: str
+    kind: str       #: 'ram' | 'cam' | 'fifo' | 'table' | 'cache'
+    entries: int
+    width_bits: int
+
+    @property
+    def bits(self) -> int:
+        return self.entries * self.width_bits
+
+    def access_pj(self) -> float:
+        """Energy of one access (for CAMs: one search/broadcast)."""
+        return _ENERGY_COEF[self.kind] * self.width_bits * \
+            _scale(self.kind, self.entries)
+
+    def leakage_mw(self) -> float:
+        return _LEAK_COEF[self.kind] * self.bits
+
+    def area_units(self) -> float:
+        return _AREA_COEF[self.kind] * self.bits
+
+
+def core_structures(config: CoreConfig) -> Dict[str, StructureSpec]:
+    """The paper's modelled structures for *config* (Table I geometry)."""
+    c = config
+    s: Dict[str, StructureSpec] = {}
+    s["rob"] = StructureSpec("rob", "ram", c.rob_entries, 84)
+    s["iq"] = StructureSpec("iq", "cam", c.iq_entries, 92)
+    s["lq"] = StructureSpec("lq", "cam", c.lq_entries, 64)
+    s["sq"] = StructureSpec("sq", "cam", c.sq_entries, 72)
+    s["prf"] = StructureSpec("prf", "ram", c.prf_entries, 64)
+    s["rat"] = StructureSpec(
+        "rat", "table", NUM_ARCH_REGS * c.num_threads,
+        2 * max(1, (c.prf_entries + c.ext_tags - 1)).bit_length())
+    s["freelists"] = StructureSpec(
+        "freelists", "table", c.prf_entries + c.ext_tags,
+        max(1, (c.prf_entries + c.ext_tags - 1)).bit_length())
+    # Select/wakeup logic area and energy grow with IQ size; modelled as
+    # an extra CAM-kind block proportional to the issue queue.
+    s["sched_logic"] = StructureSpec("sched_logic", "cam", c.iq_entries, 30)
+    if c.shelf_entries:
+        s["shelf"] = StructureSpec("shelf", "fifo", c.shelf_entries, 70)
+        s["issue_track"] = StructureSpec(
+            "issue_track", "table", c.rob_entries, 1)
+        s["ssr"] = StructureSpec("ssr", "table", 2 * c.num_threads, 8)
+        s["rct"] = StructureSpec(
+            "rct", "table", NUM_ARCH_REGS * c.num_threads, c.rct_bits)
+        s["plt"] = StructureSpec(
+            "plt", "table", NUM_ARCH_REGS * c.num_threads, c.plt_loads)
+        # Extra rename multiplexing / priority logic (paper Figure 8).
+        s["rename_ext"] = StructureSpec("rename_ext", "table",
+                                        4 * c.num_threads, 64)
+    s["l1i"] = StructureSpec("l1i", "cache",
+                             c.hierarchy.l1i_size // 8, 8 * 8)
+    s["l1d"] = StructureSpec("l1d", "cache",
+                             c.hierarchy.l1d_size // 8, 8 * 8)
+    return s
+
+
+# ---------------------------------------------------------------------------
+# energy accounting
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EnergyReport:
+    """Energy decomposition of one simulation on one configuration."""
+
+    config_label: str
+    cycles: int
+    clock_ghz: float
+    dynamic_pj: Dict[str, float] = field(default_factory=dict)
+    leakage_pj: float = 0.0
+
+    @property
+    def dynamic_total_pj(self) -> float:
+        return sum(self.dynamic_pj.values())
+
+    @property
+    def total_pj(self) -> float:
+        return self.dynamic_total_pj + self.leakage_pj
+
+    @property
+    def time_s(self) -> float:
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def power_w(self) -> float:
+        return self.total_pj * 1e-12 / self.time_s if self.time_s else 0.0
+
+    @property
+    def energy_j(self) -> float:
+        return self.total_pj * 1e-12
+
+    def summary(self) -> str:
+        top = sorted(self.dynamic_pj.items(), key=lambda kv: -kv[1])[:8]
+        lines = [f"{self.config_label}: {self.power_w:.2f} W over "
+                 f"{self.time_s * 1e6:.1f} us "
+                 f"(leakage {self.leakage_pj / self.total_pj:.0%})"]
+        for name, pj in top:
+            lines.append(f"  {name:<12} {pj / self.total_pj:6.1%}")
+        return "\n".join(lines)
+
+
+def energy_report(config: CoreConfig, result: SimResult) -> EnergyReport:
+    """Price a simulation's event counts against the structure models."""
+    s = core_structures(config)
+    ev = result.events
+    dyn: Dict[str, float] = {}
+
+    def add(name: str, pj: float) -> None:
+        dyn[name] = dyn.get(name, 0.0) + pj
+
+    add("rob", (ev.rob_writes + ev.rob_retires) * s["rob"].access_pj())
+    add("iq", ev.iq_writes * s["iq"].access_pj()
+        + ev.iq_wakeups * s["iq"].access_pj()          # tag broadcast search
+        + ev.iq_issues * 0.5 * s["iq"].access_pj())    # payload read
+    add("sched_logic", (ev.iq_issues + ev.shelf_issues)
+        * s["sched_logic"].access_pj())
+    add("prf", (ev.prf_reads + ev.prf_writes) * s["prf"].access_pj())
+    add("lq", ev.lq_writes * 0.5 * s["lq"].access_pj()
+        + ev.lq_searches * s["lq"].access_pj())
+    add("sq", ev.sq_writes * 0.5 * s["sq"].access_pj()
+        + ev.sq_searches * s["sq"].access_pj())
+    add("rat", (ev.renames_iq + ev.renames_shelf) * 4
+        * s["rat"].access_pj())
+    add("freelists", (ev.renames_iq + ev.renames_shelf)
+        * s["freelists"].access_pj())
+    if "shelf" in s:
+        add("shelf", (ev.shelf_writes + ev.shelf_issues)
+            * s["shelf"].access_pj())
+        add("steering", (ev.renames_iq + ev.renames_shelf)
+            * (s["rct"].access_pj() + s["plt"].access_pj()
+               + s["rename_ext"].access_pj()))
+        add("ssr", ev.shelf_issues * s["ssr"].access_pj())
+    add("frontend", ev.fetches * (_FETCH_PJ + _DECODE_RENAME_PJ))
+    add("bpred", ev.bpred_lookups * _BPRED_PJ)
+    add("fu", ev.fu_ops * _FU_OP_PJ)
+    l1i = result.cache_stats["l1i"]
+    l1d = result.cache_stats["l1d"]
+    l1_accesses = (l1i["hits"] + l1i["misses"]
+                   + l1d["hits"] + l1d["misses"])
+    add("l1", l1_accesses * _L1_ACCESS_PJ)
+    add("clock_misc", result.cycles * _FIXED_CYCLE_PJ)
+
+    leak_mw = _FIXED_LEAK_MW + sum(sp.leakage_mw() for sp in s.values())
+    time_s = result.cycles / (config.clock_ghz * 1e9)
+    leakage_pj = leak_mw * 1e-3 * time_s * 1e12
+
+    return EnergyReport(config_label=config.label(), cycles=result.cycles,
+                        clock_ghz=config.clock_ghz, dynamic_pj=dyn,
+                        leakage_pj=leakage_pj)
+
+
+# ---------------------------------------------------------------------------
+# area accounting
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AreaReport:
+    """Area decomposition of one configuration (relative units)."""
+
+    config_label: str
+    structures: Dict[str, float]
+    fixed: float = _FIXED_AREA_UNITS
+
+    @property
+    def l1_area(self) -> float:
+        return self.structures.get("l1i", 0.0) + \
+            self.structures.get("l1d", 0.0)
+
+    def total(self, include_l1: bool = True) -> float:
+        core = self.fixed + sum(v for k, v in self.structures.items()
+                                if k not in ("l1i", "l1d"))
+        return core + (self.l1_area if include_l1 else 0.0)
+
+    def increase_over(self, base: "AreaReport",
+                      include_l1: bool = True) -> float:
+        """Fractional area increase vs. *base* (the Table II statistic)."""
+        return self.total(include_l1) / base.total(include_l1) - 1.0
+
+
+def area_report(config: CoreConfig) -> AreaReport:
+    """Static area of *config*'s core (no simulation required)."""
+    s = core_structures(config)
+    return AreaReport(config_label=config.label(),
+                      structures={k: sp.area_units()
+                                  for k, sp in s.items()})

@@ -1,0 +1,37 @@
+"""Experiment reproductions: one module per paper figure/table.
+
+Each module exposes ``run(scale: RunScale) -> ExperimentResult``.  The
+pytest-benchmark wrappers in ``benchmarks/`` execute them and print the
+same rows the paper reports; ``EXPERIMENTS.md`` records paper-vs-measured.
+"""
+
+from repro.experiments.common import ExperimentResult, sample_mixes
+from repro.experiments import (
+    ablations,
+    fig01_insequence,
+    fig02_series_cdf,
+    fig10_stp,
+    fig11_mix_insequence,
+    fig12_steering,
+    fig13_edp,
+    fig14_fewer_threads,
+    granularity,
+    sensitivity,
+    tab02_area,
+)
+
+ALL_EXPERIMENTS = {
+    "fig01": fig01_insequence,
+    "fig02": fig02_series_cdf,
+    "fig10": fig10_stp,
+    "fig11": fig11_mix_insequence,
+    "fig12": fig12_steering,
+    "fig13": fig13_edp,
+    "fig14": fig14_fewer_threads,
+    "tab02": tab02_area,
+    "ablations": ablations,
+    "granularity": granularity,
+    "sensitivity": sensitivity,
+}
+
+__all__ = ["ExperimentResult", "sample_mixes", "ALL_EXPERIMENTS"]

@@ -1,0 +1,55 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.report import format_table
+from repro.trace.workloads import BENCHMARK_NAMES
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container the benches print and tests assert on."""
+
+    experiment: str          #: e.g. "Figure 10"
+    description: str
+    headers: List[str]
+    rows: List[Sequence[object]]
+    paper_claim: str
+    #: named scalar findings for programmatic assertions.
+    findings: Dict[str, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        body = format_table(self.headers, self.rows,
+                            title=f"{self.experiment}: {self.description}")
+        claims = f"paper: {self.paper_claim}"
+        extras = "\n".join(f"  {k} = {v:.4g}"
+                           for k, v in sorted(self.findings.items()))
+        return "\n".join(x for x in (body, claims, extras) if x)
+
+
+def sample_mixes(threads: int, count: int,
+                 seed: int = 2016) -> List[Tuple[str, ...]]:
+    """Deterministic multi-benchmark mixes with near-balanced coverage.
+
+    Used where the canonical 28 balanced mixes don't apply (other thread
+    counts, scaled-down runs): benchmarks are drawn round-robin from a
+    shuffled roster, so a small sample still spans the behaviour families.
+    """
+    rng = random.Random(seed)
+    roster = list(BENCHMARK_NAMES)
+    rng.shuffle(roster)
+    mixes: List[Tuple[str, ...]] = []
+    pos = 0
+    for _ in range(count):
+        mix: List[str] = []
+        while len(mix) < threads:
+            cand = roster[pos % len(roster)]
+            pos += 1
+            if cand not in mix:
+                mix.append(cand)
+        mixes.append(tuple(mix))
+    return mixes

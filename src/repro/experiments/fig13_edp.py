@@ -1,0 +1,64 @@
+"""Figure 13: energy-delay product of the evaluated designs.
+
+The paper: Base128 improves EDP by 4.9% over Base64 (faster but much more
+power); the 64+64 shelf design does better — +8.6% (conservative) and
++10.9% (optimistic) geomean, up to +17.5%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.energy import edp, energy_report
+from repro.experiments.common import ExperimentResult
+from repro.harness.configs import EVALUATED_CONFIGS
+from repro.harness.runner import RunScale, run_mix
+from repro.metrics.throughput import geomean
+from repro.trace.mixes import balanced_random_mixes
+
+CONFIG_ORDER = ("Shelf64-cons", "Shelf64-opt", "Base128")
+
+
+def run(scale: RunScale) -> ExperimentResult:
+    mixes = balanced_random_mixes()[:scale.num_mixes]
+    length = scale.instructions_per_thread
+    improvements: Dict[str, List[float]] = {c: [] for c in CONFIG_ORDER}
+    powers: Dict[str, List[float]] = {c: [] for c in
+                                      ("Base64", *CONFIG_ORDER)}
+    for seed, mix in enumerate(mixes):
+        base_cfg = EVALUATED_CONFIGS["Base64"](4)
+        base_rep = energy_report(base_cfg, run_mix(base_cfg, mix, length,
+                                                   seed))
+        powers["Base64"].append(base_rep.power_w)
+        base_edp = edp(base_rep)
+        for name in CONFIG_ORDER:
+            cfg = EVALUATED_CONFIGS[name](4)
+            rep = energy_report(cfg, run_mix(cfg, mix, length, seed))
+            powers[name].append(rep.power_w)
+            improvements[name].append(1.0 - edp(rep) / base_edp)
+
+    rows = []
+    for name in CONFIG_ORDER:
+        vals = improvements[name]
+        rows.append((name,
+                     geomean([1 + v for v in vals]) - 1,
+                     min(vals), max(vals),
+                     sum(powers[name]) / len(powers[name])))
+    rows.append(("Base64", 0.0, 0.0, 0.0,
+                 sum(powers["Base64"]) / len(powers["Base64"])))
+    findings = {f"edp_geomean_{c}":
+                geomean([1 + v for v in improvements[c]]) - 1
+                for c in CONFIG_ORDER}
+    findings["edp_best_shelf"] = max(max(improvements["Shelf64-cons"]),
+                                     max(improvements["Shelf64-opt"]))
+    return ExperimentResult(
+        experiment="Figure 13",
+        description="energy-delay product improvement over Base64 "
+                    "(4-thread mixes; core power incl. L1)",
+        headers=["config", "EDP impr (geomean)", "min", "max",
+                 "avg power (W)"],
+        rows=rows,
+        paper_claim="Base128 +4.9%; shelf +8.6% (cons) / +10.9% (opt), "
+                    "up to +17.5% — the shelf beats both",
+        findings=findings,
+    )

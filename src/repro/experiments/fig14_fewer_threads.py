@@ -1,0 +1,61 @@
+"""Figure 14: shelf opportunity with fewer threads.
+
+The paper: no opportunity single-threaded (but no harm either); a modest
+STP and EDP gain at two threads.  The shelf can always be disabled by
+steering everything to the IQ.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.energy import edp, energy_report
+from repro.experiments.common import ExperimentResult, sample_mixes
+from repro.harness.configs import base64_config, shelf_config
+from repro.harness.runner import (RunScale, run_benchmark, run_mix,
+                                  single_thread_cpi)
+from repro.metrics.throughput import geomean, stp
+
+
+def run(scale: RunScale) -> ExperimentResult:
+    length = scale.instructions_per_thread
+    rows = []
+    findings = {}
+    for threads in (1, 2):
+        base_cfg = base64_config(threads)
+        shelf_cfg = shelf_config(threads)
+        stp_ratios: List[float] = []
+        edp_ratios: List[float] = []
+        count = max(scale.num_mixes * (2 if threads == 1 else 1), 4)
+        for seed, mix in enumerate(sample_mixes(threads, count,
+                                                seed=99 + threads)):
+            singles = [single_thread_cpi(base64_config(1), b, length,
+                                         seed + i)
+                       for i, b in enumerate(mix)]
+            if threads == 1:
+                base_res = run_benchmark(base_cfg, mix[0], length, seed)
+                shelf_res = run_benchmark(shelf_cfg, mix[0], length, seed)
+            else:
+                base_res = run_mix(base_cfg, mix, length, seed)
+                shelf_res = run_mix(shelf_cfg, mix, length, seed)
+            stp_base = stp(base_res, singles)
+            stp_shelf = stp(shelf_res, singles)
+            stp_ratios.append(stp_shelf / stp_base)
+            edp_base = edp(energy_report(base_cfg, base_res))
+            edp_shelf = edp(energy_report(shelf_cfg, shelf_res))
+            edp_ratios.append(edp_base / edp_shelf)  # >1 = shelf better
+        stp_impr = geomean(stp_ratios) - 1
+        edp_impr = geomean(edp_ratios) - 1
+        rows.append((f"{threads} thread(s)", stp_impr, edp_impr))
+        findings[f"stp_impr_{threads}t"] = stp_impr
+        findings[f"edp_impr_{threads}t"] = edp_impr
+    return ExperimentResult(
+        experiment="Figure 14",
+        description="shelf STP / EDP improvement over Base64 at 1 and 2 "
+                    "threads (practical steering)",
+        headers=["threads", "STP improvement", "EDP improvement"],
+        rows=rows,
+        paper_claim="no opportunity (and no harm) at 1 thread; modest "
+                    "improvement at 2 threads",
+        findings=findings,
+    )

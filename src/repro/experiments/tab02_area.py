@@ -1,0 +1,36 @@
+"""Table II: core area increase over the Base64 design.
+
+The paper: the shelf (with its scheduling, steering and tracking
+structures) adds 3.1% core area excluding L1 caches / 2.1% including
+them; doubling every OOO structure adds 9.7% / 6.6%.
+"""
+
+from __future__ import annotations
+
+from repro.energy import area_report
+from repro.experiments.common import ExperimentResult
+from repro.harness.configs import base64_config, base128_config, shelf_config
+from repro.harness.runner import RunScale
+
+
+def run(scale: RunScale) -> ExperimentResult:  # scale unused: static model
+    base = area_report(base64_config(4))
+    shelf = area_report(shelf_config(4))
+    big = area_report(base128_config(4))
+    rows = []
+    findings = {}
+    for label, rep in (("Base64+Shelf64", shelf), ("Base128", big)):
+        no_l1 = rep.increase_over(base, include_l1=False)
+        with_l1 = rep.increase_over(base, include_l1=True)
+        rows.append((label, no_l1, with_l1))
+        key = "shelf" if "Shelf" in label else "base128"
+        findings[f"area_{key}_no_l1"] = no_l1
+        findings[f"area_{key}_with_l1"] = with_l1
+    return ExperimentResult(
+        experiment="Table II",
+        description="core area increase over Base64",
+        headers=["design", "excl. L1", "incl. L1"],
+        rows=rows,
+        paper_claim="shelf +3.1% / +2.1%; Base128 +9.7% / +6.6%",
+        findings=findings,
+    )

@@ -1,0 +1,31 @@
+"""Front-end components: branch prediction and SMT fetch policy.
+
+The paper's configuration fetches 8-wide with a 6-cycle fetch-to-dispatch
+pipe and selects threads with the ICOUNT policy (Tullsen et al.), whose
+synergy with shelf steering Section IV-B highlights: slow-moving threads'
+instructions head to the shelf, leaving IQ capacity to the others.
+"""
+
+from repro.frontend.branch_predictor import (
+    BimodalPredictor,
+    BranchPredictor,
+    LocalPredictor,
+    PredictorConfig,
+    TournamentPredictor,
+    make_predictor,
+)
+from repro.frontend.fetch import (ICount2Policy, ICountPolicy,
+                                  RoundRobinPolicy, make_fetch_policy)
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchPredictor",
+    "LocalPredictor",
+    "PredictorConfig",
+    "TournamentPredictor",
+    "make_predictor",
+    "ICountPolicy",
+    "ICount2Policy",
+    "RoundRobinPolicy",
+    "make_fetch_policy",
+]

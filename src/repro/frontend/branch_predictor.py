@@ -1,0 +1,185 @@
+"""Gshare branch direction predictor with a branch target buffer.
+
+Per-thread global history (SMT predictors either tag or split history; we
+split, which is the common gem5 configuration).  The trace is a resolved
+dynamic stream, so the predictor's only simulated effect is *timing*: a
+wrong prediction gates the thread's fetch until the branch resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Direction predictor and BTB geometry."""
+
+    history_bits: int = 12        #: gshare global-history length
+    table_bits: int = 12          #: log2 of the pattern-history table size
+    btb_entries: int = 2048       #: direct-mapped BTB size
+
+
+class BranchPredictor:
+    """Per-thread gshare + shared direct-mapped BTB.
+
+    ``predict`` returns whether the *direction and target* were both
+    correct; the pipeline treats any wrong answer as a misprediction that
+    blocks fetch until resolution.  ``update`` trains the tables.
+    """
+
+    def __init__(self, num_threads: int,
+                 config: PredictorConfig = PredictorConfig()) -> None:
+        self.config = config
+        self.num_threads = num_threads
+        size = 1 << config.table_bits
+        self._mask = size - 1
+        self._hist_mask = (1 << config.history_bits) - 1
+        # 2-bit saturating counters, initialized weakly taken.
+        self._pht: List[List[int]] = [[2] * size for _ in range(num_threads)]
+        self._history: List[int] = [0] * num_threads
+        self._btb = {}
+        self._btb_mask = config.btb_entries - 1
+        self.lookups = 0
+        self.direction_mispredicts = 0
+        self.target_mispredicts = 0
+
+    def _index(self, tid: int, pc: int) -> int:
+        return ((pc >> 2) ^ self._history[tid]) & self._mask
+
+    def predict(self, tid: int, pc: int, taken: bool, target: int) -> bool:
+        """Predict branch at *pc*; return True iff prediction is correct.
+
+        *taken*/*target* are the trace's resolved outcome, used only to
+        score the prediction (the stream itself is already correct-path).
+        """
+        self.lookups += 1
+        pred_taken = self._direction(tid, pc)
+        correct = pred_taken == taken
+        if not correct:
+            self.direction_mispredicts += 1
+        elif taken:
+            # Direction right; target must come from the BTB.
+            btb_idx = (pc >> 2) & self._btb_mask
+            entry = self._btb.get(btb_idx)
+            if entry != (pc, target):
+                self.target_mispredicts += 1
+                correct = False
+        return correct
+
+    def update(self, tid: int, pc: int, taken: bool, target: int) -> None:
+        """Train the PHT, history and BTB with the resolved outcome."""
+        idx = self._index(tid, pc)
+        ctr = self._pht[tid][idx]
+        self._pht[tid][idx] = min(ctr + 1, 3) if taken else max(ctr - 1, 0)
+        self._history[tid] = ((self._history[tid] << 1) | int(taken)) \
+            & self._hist_mask
+        if taken:
+            self._btb[(pc >> 2) & self._btb_mask] = (pc, target)
+
+    @property
+    def mispredicts(self) -> int:
+        return self.direction_mispredicts + self.target_mispredicts
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredicts / self.lookups
+
+    def reset(self) -> None:
+        for pht in self._pht:
+            for i in range(len(pht)):
+                pht[i] = 2
+        self._history = [0] * self.num_threads
+        self._btb.clear()
+        self.lookups = 0
+        self.direction_mispredicts = 0
+        self.target_mispredicts = 0
+
+    # -- direction-only hook for subclasses ---------------------------------
+
+    def _direction(self, tid: int, pc: int) -> bool:
+        return self._pht[tid][self._index(tid, pc)] >= 2
+
+    def _train_direction(self, tid: int, pc: int, taken: bool) -> None:
+        idx = self._index(tid, pc)
+        ctr = self._pht[tid][idx]
+        self._pht[tid][idx] = min(ctr + 1, 3) if taken else max(ctr - 1, 0)
+
+
+class BimodalPredictor(BranchPredictor):
+    """PC-indexed 2-bit counters, no history — the classic baseline."""
+
+    def _index(self, tid: int, pc: int) -> int:
+        return ((pc >> 2) ^ (tid << 6)) & self._mask
+
+    def update(self, tid: int, pc: int, taken: bool, target: int) -> None:
+        self._train_direction(tid, pc, taken)
+        if taken:
+            self._btb[(pc >> 2) & self._btb_mask] = (pc, target)
+
+
+class LocalPredictor(BranchPredictor):
+    """Two-level local-history predictor (per-branch history registers)."""
+
+    def __init__(self, num_threads: int,
+                 config: PredictorConfig = PredictorConfig(),
+                 local_bits: int = 10) -> None:
+        super().__init__(num_threads, config)
+        self._local_mask = (1 << local_bits) - 1
+        self._lhist: dict = {}
+
+    def _index(self, tid: int, pc: int) -> int:
+        key = (tid, (pc >> 2) & 0x3FF)
+        hist = self._lhist.get(key, 0)
+        return ((pc >> 2) ^ hist) & self._mask
+
+    def update(self, tid: int, pc: int, taken: bool, target: int) -> None:
+        self._train_direction(tid, pc, taken)
+        key = (tid, (pc >> 2) & 0x3FF)
+        self._lhist[key] = ((self._lhist.get(key, 0) << 1) | int(taken)) \
+            & self._local_mask
+        if taken:
+            self._btb[(pc >> 2) & self._btb_mask] = (pc, target)
+
+
+class TournamentPredictor(BranchPredictor):
+    """Gshare + bimodal with a per-PC chooser (Alpha 21264 style)."""
+
+    def __init__(self, num_threads: int,
+                 config: PredictorConfig = PredictorConfig()) -> None:
+        super().__init__(num_threads, config)
+        self._bimodal = BimodalPredictor(num_threads, config)
+        size = 1 << config.table_bits
+        self._chooser = [[2] * size for _ in range(num_threads)]
+
+    def _direction(self, tid: int, pc: int) -> bool:
+        g = super()._direction(tid, pc)
+        b = self._bimodal._direction(tid, pc)
+        use_gshare = self._chooser[tid][(pc >> 2) & self._mask] >= 2
+        return g if use_gshare else b
+
+    def update(self, tid: int, pc: int, taken: bool, target: int) -> None:
+        g_right = super()._direction(tid, pc) == taken
+        b_right = self._bimodal._direction(tid, pc) == taken
+        if g_right != b_right:
+            c = self._chooser[tid][(pc >> 2) & self._mask]
+            self._chooser[tid][(pc >> 2) & self._mask] = \
+                min(c + 1, 3) if g_right else max(c - 1, 0)
+        super().update(tid, pc, taken, target)
+        self._bimodal._train_direction(tid, pc, taken)
+
+
+def make_predictor(name: str, num_threads: int,
+                   config: PredictorConfig = PredictorConfig()
+                   ) -> BranchPredictor:
+    """Factory: ``gshare`` (default), ``bimodal``, ``local``,
+    ``tournament``."""
+    table = {"gshare": BranchPredictor, "bimodal": BimodalPredictor,
+             "local": LocalPredictor, "tournament": TournamentPredictor}
+    try:
+        return table[name](num_threads, config)
+    except KeyError:
+        raise ValueError(f"unknown branch predictor {name!r}") from None

@@ -1,0 +1,89 @@
+"""SMT fetch thread-selection policies.
+
+ICOUNT (Tullsen et al., paper [16]) favors the thread with the fewest
+instructions in the front end and pre-issue window, which both balances
+progress and — per the paper's Section IV-B — synergizes with shelf
+steering.  Round-robin is provided as a simple alternative for ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+
+class ICountPolicy:
+    """Pick the fetchable thread with the lowest in-flight, pre-issue count."""
+
+    name = "icount"
+    fetch_threads = 1  #: threads sharing the fetch stage per cycle
+
+    def __init__(self, num_threads: int) -> None:
+        self.num_threads = num_threads
+        self._tiebreak = 0
+
+    def select(self, fetchable: Sequence[bool],
+               icounts: Sequence[int]) -> Optional[int]:
+        """Return the thread id to fetch this cycle, or None if none can.
+
+        Args:
+            fetchable: per-thread flag — False while a thread is blocked on
+                an I-cache miss, unresolved mispredicted branch, trace end,
+                or a full front-end buffer.
+            icounts: per-thread count of instructions in the front end and
+                the pre-issue window (IQ + shelf).
+        """
+        best: Optional[int] = None
+        best_key = None
+        for off in range(self.num_threads):
+            tid = (self._tiebreak + off) % self.num_threads
+            if not fetchable[tid]:
+                continue
+            key = icounts[tid]
+            if best_key is None or key < best_key:
+                best, best_key = tid, key
+        if best is not None:
+            self._tiebreak = (best + 1) % self.num_threads
+        return best
+
+
+class ICount2Policy(ICountPolicy):
+    """ICOUNT.2.X: the two lowest-count threads share the fetch width.
+
+    Tullsen et al. found ICOUNT.2.8 the best-performing fetch scheme; the
+    pipeline splits its fetch width evenly across the selected threads.
+    """
+
+    name = "icount2"
+    fetch_threads = 2
+
+
+class RoundRobinPolicy:
+    """Rotate through fetchable threads regardless of occupancy."""
+
+    name = "round-robin"
+    fetch_threads = 1
+
+    def __init__(self, num_threads: int) -> None:
+        self.num_threads = num_threads
+        self._next = 0
+
+    def select(self, fetchable: Sequence[bool],
+               icounts: Sequence[int]) -> Optional[int]:
+        for off in range(self.num_threads):
+            tid = (self._next + off) % self.num_threads
+            if fetchable[tid]:
+                self._next = (tid + 1) % self.num_threads
+                return tid
+        return None
+
+
+def make_fetch_policy(name: str, num_threads: int):
+    """Factory: ``"icount"`` (paper default), ``"icount2"`` (ICOUNT.2.X),
+    or ``"round-robin"``."""
+    if name == "icount":
+        return ICountPolicy(num_threads)
+    if name == "icount2":
+        return ICount2Policy(num_threads)
+    if name == "round-robin":
+        return RoundRobinPolicy(num_threads)
+    raise ValueError(f"unknown fetch policy {name!r}")

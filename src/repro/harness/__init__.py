@@ -1,0 +1,42 @@
+"""Experiment harness: configuration factories, cached runners, scaling.
+
+Every experiment accepts a :class:`RunScale` so the full suite can run at
+smoke-test size in CI and at paper-like size offline (set
+``REPRO_SCALE=full``).
+"""
+
+from repro.harness.configs import (
+    base64_config,
+    base128_config,
+    shelf_config,
+    EVALUATED_CONFIGS,
+)
+from repro.harness.runner import (
+    RunScale,
+    clear_cache,
+    get_scale,
+    mix_stp,
+    run_benchmark,
+    run_mix,
+    single_thread_cpi,
+)
+from repro.harness.report import format_table
+from repro.harness.campaign import Campaign, CampaignPoint, standard_campaign
+
+__all__ = [
+    "Campaign",
+    "CampaignPoint",
+    "standard_campaign",
+    "base64_config",
+    "base128_config",
+    "shelf_config",
+    "EVALUATED_CONFIGS",
+    "RunScale",
+    "clear_cache",
+    "get_scale",
+    "mix_stp",
+    "run_benchmark",
+    "run_mix",
+    "single_thread_cpi",
+    "format_table",
+]

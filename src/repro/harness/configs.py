@@ -1,0 +1,43 @@
+"""The paper's evaluated configurations (Table I and Section V).
+
+* ``Base64``  — 64-entry ROB, 32-entry IQ/LQ/SQ: the baseline.
+* ``Base64+Shelf64`` — baseline plus a 64-entry shelf, under conservative
+  (no same-cycle shelf issue) or optimistic assumptions, with practical or
+  oracle steering.
+* ``Base128`` — all OOO structures doubled: the paper's upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.config import CoreConfig
+
+
+def base64_config(threads: int = 4) -> CoreConfig:
+    """The baseline 4-thread OOO core (64-entry ROB, 32-entry IQ/LQ/SQ)."""
+    return CoreConfig(num_threads=threads)
+
+
+def base128_config(threads: int = 4) -> CoreConfig:
+    """Every OOO structure doubled — the shelf's theoretical upper bound."""
+    return CoreConfig(num_threads=threads, rob_entries=128, iq_entries=64,
+                      lq_entries=64, sq_entries=64)
+
+
+def shelf_config(threads: int = 4, steering: str = "practical",
+                 optimistic: bool = False,
+                 shelf_entries: int = 64) -> CoreConfig:
+    """Base64 plus a shelf (default 64 entries, practical steering)."""
+    return CoreConfig(num_threads=threads, shelf_entries=shelf_entries,
+                      steering=steering,
+                      shelf_same_cycle_issue=optimistic)
+
+
+#: label -> factory, the four bars of Figures 10 and 13.
+EVALUATED_CONFIGS: Dict[str, Callable[[int], CoreConfig]] = {
+    "Base64": base64_config,
+    "Shelf64-cons": lambda t=4: shelf_config(t, optimistic=False),
+    "Shelf64-opt": lambda t=4: shelf_config(t, optimistic=True),
+    "Base128": base128_config,
+}

@@ -1,0 +1,113 @@
+"""Cached simulation runners and run-scale selection.
+
+Simulation results are memoized in-process by (configuration, benchmark,
+length, seed, stop-mode), so the many experiments that share runs — e.g.
+Figure 10's mix runs feeding Figure 13's EDP — simulate each point once.
+
+STP needs a single-threaded reference CPI per benchmark.  We reference all
+configurations against the *baseline* (Base64) single-thread CPIs, which
+makes STP directly comparable across configurations (and makes the 1- and
+2-thread comparison of Figure 14 meaningful).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.core.stats import SimResult
+from repro.harness.configs import base64_config
+from repro.metrics.throughput import stp
+from repro.trace import generate
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """How big the experiments run."""
+
+    name: str
+    instructions_per_thread: int
+    num_mixes: int  #: how many of the 28 balanced mixes to simulate
+
+    def __str__(self) -> str:
+        return (f"{self.name} ({self.instructions_per_thread} instrs/thread, "
+                f"{self.num_mixes} mixes)")
+
+
+SCALES = {
+    "smoke": RunScale("smoke", 800, 3),
+    "default": RunScale("default", 2500, 8),
+    "full": RunScale("full", 6000, 28),
+}
+
+
+def get_scale(name: Optional[str] = None) -> RunScale:
+    """Resolve the run scale: explicit name, else ``$REPRO_SCALE``, else
+    ``default``."""
+    key = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return SCALES[key]
+    except KeyError:
+        raise ValueError(f"unknown scale {key!r}; "
+                         f"choose from {', '.join(SCALES)}") from None
+
+
+# -- memoized simulation ---------------------------------------------------
+
+_CACHE: Dict[tuple, SimResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized simulation results (tests use this)."""
+    _CACHE.clear()
+
+
+def _run(config: CoreConfig, benchmarks: Tuple[str, ...], length: int,
+         seed: int, stop: str) -> SimResult:
+    key = (config, benchmarks, length, seed, stop)
+    if key not in _CACHE:
+        traces = [generate(b, length, seed + i)
+                  for i, b in enumerate(benchmarks)]
+        _CACHE[key] = Pipeline(config, traces).run(stop=stop)
+    return _CACHE[key]
+
+
+def run_benchmark(config: CoreConfig, benchmark: str, length: int,
+                  seed: int = 0) -> SimResult:
+    """Run one benchmark alone to completion on a 1-thread *config*."""
+    if config.num_threads != 1:
+        config = config.with_threads(1)
+    return _run(config, (benchmark,), length, seed, "all")
+
+
+def run_mix(config: CoreConfig, mix: Sequence[str], length: int,
+            seed: int = 0) -> SimResult:
+    """Run an SMT mix until the first thread finishes its trace."""
+    if len(mix) != config.num_threads:
+        raise ValueError(f"mix of {len(mix)} benchmarks on a "
+                         f"{config.num_threads}-thread config")
+    return _run(config, tuple(mix), length, seed, "first")
+
+
+def single_thread_cpi(config: CoreConfig, benchmark: str, length: int,
+                      seed: int = 0) -> float:
+    """CPI of *benchmark* running alone on a 1-thread *config*."""
+    return run_benchmark(config, benchmark, length, seed).threads[0].cpi
+
+
+def mix_stp(config: CoreConfig, mix: Sequence[str], length: int,
+            seed: int = 0,
+            reference: Optional[CoreConfig] = None) -> float:
+    """STP of *mix* on *config*, referenced to single-thread Base64 CPIs.
+
+    The seed offset per thread slot matches :func:`run_mix`, so the
+    reference run replays the identical trace the SMT thread executes.
+    """
+    ref = reference if reference is not None else base64_config(1)
+    multi = run_mix(config, mix, length, seed)
+    singles = [single_thread_cpi(ref, b, length, seed + i)
+               for i, b in enumerate(mix)]
+    return stp(multi, singles)

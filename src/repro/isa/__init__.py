@@ -1,0 +1,33 @@
+"""Abstract RISC-like ISA used by the trace-driven simulator.
+
+The paper evaluates on ARM v7 via gem5 system-call emulation.  Our
+reproduction replaces the concrete ISA with an abstract register machine
+that preserves everything the shelf microarchitecture cares about:
+
+* architectural register dataflow (RAW/WAW/WAR hazards),
+* operation classes with distinct execution latencies and functional units,
+* loads/stores with concrete byte addresses (for caches and the LSQ),
+* conditional branches with taken/not-taken outcomes (for the predictor),
+* memory barriers (synchronize dispatch, as in the paper's relaxed model).
+"""
+
+from repro.isa.opcodes import (
+    OpClass,
+    DEFAULT_LATENCIES,
+    FunctionalUnitPool,
+    default_fu_pool,
+    is_memory,
+    is_speculative_source,
+)
+from repro.isa.instruction import Instruction, NUM_ARCH_REGS
+
+__all__ = [
+    "OpClass",
+    "DEFAULT_LATENCIES",
+    "FunctionalUnitPool",
+    "default_fu_pool",
+    "is_memory",
+    "is_speculative_source",
+    "Instruction",
+    "NUM_ARCH_REGS",
+]

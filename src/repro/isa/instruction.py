@@ -1,0 +1,86 @@
+"""Static instruction records as they appear in a trace.
+
+A trace is a *dynamic* instruction stream: control flow is already
+resolved, so each record carries its PC, the PC of the next record
+(``next_pc``), and — for branches — the taken/not-taken outcome so a branch
+predictor can be driven and scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import OpClass
+
+#: Number of architectural (logical) registers per thread.  ARM v7 has 16
+#: integer registers; we use 32 to cover the combined int+FP namespace the
+#: simulator renames (the paper renames both through one mechanism).
+NUM_ARCH_REGS = 32
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic-trace instruction.
+
+    Attributes:
+        op: operation class (determines latency and FU).
+        dest: destination architectural register, or ``None`` (stores,
+            branches and barriers produce no register result).
+        srcs: source architectural registers (0-3 of them).
+        pc: instruction address (drives the I-cache and branch predictor).
+        next_pc: address of the next dynamic instruction (branch target if
+            the branch is taken, fall-through otherwise).
+        mem_addr: effective byte address for loads/stores, else ``None``.
+        mem_size: access size in bytes for loads/stores.
+        taken: branch outcome; ``None`` for non-branches.
+    """
+
+    op: OpClass
+    dest: Optional[int]
+    srcs: Tuple[int, ...]
+    pc: int
+    next_pc: int
+    mem_addr: Optional[int] = None
+    mem_size: int = 4
+    taken: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.dest is not None and not 0 <= self.dest < NUM_ARCH_REGS:
+            raise ValueError(f"dest register {self.dest} out of range")
+        for s in self.srcs:
+            if not 0 <= s < NUM_ARCH_REGS:
+                raise ValueError(f"src register {s} out of range")
+        if self.op in (OpClass.LOAD, OpClass.STORE) and self.mem_addr is None:
+            raise ValueError(f"{self.op.name} requires mem_addr")
+        if self.op is OpClass.BRANCH and self.taken is None:
+            raise ValueError("BRANCH requires a taken outcome")
+        if self.op is OpClass.STORE and self.dest is not None:
+            raise ValueError("STORE must not write a register")
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op is OpClass.BRANCH
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op is OpClass.LOAD or self.op is OpClass.STORE
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering, for debugging and examples."""
+        dst = f"r{self.dest}" if self.dest is not None else "--"
+        srcs = ",".join(f"r{s}" for s in self.srcs) or "--"
+        extra = ""
+        if self.is_mem:
+            extra = f" [0x{self.mem_addr:x}]"
+        if self.is_branch:
+            extra = f" {'T' if self.taken else 'N'} ->0x{self.next_pc:x}"
+        return f"{self.op.name:<8} {dst:<4} <- {srcs}{extra} @0x{self.pc:x}"

@@ -1,0 +1,150 @@
+"""Operation classes, latencies and functional-unit pools.
+
+Latencies follow common microarchitectural conventions (and gem5's ARM
+timing model at a coarse grain): single-cycle integer ALU, pipelined
+multiplies, unpipelined divides, two-cycle minimum load-to-use for L1 hits
+(paper Section III-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class OpClass(enum.IntEnum):
+    """Classes of operations the simulator schedules.
+
+    Each class maps to an execution latency and a functional-unit pool.
+    ``LOAD``/``STORE`` additionally access the cache hierarchy and the
+    load/store queues; ``BRANCH`` consults the branch predictor; ``BARRIER``
+    synchronizes the pipeline at dispatch (paper Section III-D).
+    """
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ADD = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+    BARRIER = 9
+
+
+#: Execution latency in cycles for each op class.  For ``LOAD`` this is the
+#: address-generation + L1-hit latency floor; cache misses extend it
+#: dynamically.  The paper specifies a minimum 2-cycle load-to-use distance
+#: for L1 data cache hits.
+DEFAULT_LATENCIES: Dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 12,
+    OpClass.FP_ADD: 3,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 16,
+    OpClass.LOAD: 2,
+    OpClass.STORE: 1,
+    # Branches resolve at the end of the execute pipeline, several cycles
+    # after issue — this is also their speculation-resolution delay for
+    # the SSR mechanism (paper Section III-B).
+    OpClass.BRANCH: 3,
+    OpClass.BARRIER: 1,
+}
+
+#: Op classes that are *not* pipelined: a functional unit stays busy for the
+#: instruction's full latency.
+UNPIPELINED: frozenset = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
+
+_MEMORY_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE})
+
+
+def is_memory(op: OpClass) -> bool:
+    """Return True if *op* accesses data memory (needs LSQ handling)."""
+    return op in _MEMORY_CLASSES
+
+
+def is_speculative_source(op: OpClass) -> bool:
+    """Return True if *op* can trigger a squash of younger instructions.
+
+    Branches squash on misprediction; loads squash on memory-order
+    violations.  These contribute resolution delays to the speculation
+    shift registers (paper Section III-B).
+    """
+    return op is OpClass.BRANCH or op is OpClass.LOAD
+
+
+# Functional-unit groups.  Several op classes can share one pool (e.g. the
+# integer ALUs execute branches too, as in most gem5 configurations).
+_FU_GROUP: Dict[OpClass, str] = {
+    OpClass.INT_ALU: "int_alu",
+    OpClass.BRANCH: "int_alu",
+    OpClass.BARRIER: "int_alu",
+    OpClass.INT_MUL: "int_muldiv",
+    OpClass.INT_DIV: "int_muldiv",
+    OpClass.FP_ADD: "fp",
+    OpClass.FP_MUL: "fp",
+    OpClass.FP_DIV: "fp",
+    OpClass.LOAD: "mem",
+    OpClass.STORE: "mem",
+}
+
+
+@dataclass
+class FunctionalUnitPool:
+    """Tracks functional-unit availability for one cycle-based simulation.
+
+    Pipelined units only constrain issue bandwidth per cycle; unpipelined
+    units (divides) occupy a unit for the instruction's full latency.
+    """
+
+    counts: Dict[str, int]
+    _busy_until: Dict[str, list] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for group, count in self.counts.items():
+            self._busy_until.setdefault(group, [0] * count)
+        self._issued_this_cycle: Dict[str, int] = {}
+        self._cycle = -1
+
+    def _roll(self, cycle: int) -> None:
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._issued_this_cycle = {}
+
+    def available(self, op: OpClass, cycle: int) -> bool:
+        """Return True if an FU of *op*'s group can accept an issue now."""
+        self._roll(cycle)
+        group = _FU_GROUP[op]
+        used = self._issued_this_cycle.get(group, 0)
+        free = sum(1 for b in self._busy_until[group] if b <= cycle)
+        return used < free
+
+    def acquire(self, op: OpClass, cycle: int, latency: int) -> None:
+        """Consume an FU slot for this cycle (and busy it if unpipelined)."""
+        self._roll(cycle)
+        group = _FU_GROUP[op]
+        self._issued_this_cycle[group] = self._issued_this_cycle.get(group, 0) + 1
+        if op in UNPIPELINED:
+            slots = self._busy_until[group]
+            for i, b in enumerate(slots):
+                if b <= cycle:
+                    slots[i] = cycle + latency
+                    return
+            raise RuntimeError("acquire() without available(): FU pool overcommitted")
+
+    def reset(self) -> None:
+        """Clear all busy state (used between simulation runs)."""
+        for group in self._busy_until:
+            self._busy_until[group] = [0] * self.counts[group]
+        self._issued_this_cycle = {}
+        self._cycle = -1
+
+
+def default_fu_pool() -> FunctionalUnitPool:
+    """FU pool for the paper's 4-wide core: 4 ALUs, 1 mul/div, 2 FP, 2 mem."""
+    return FunctionalUnitPool(
+        counts={"int_alu": 4, "int_muldiv": 1, "fp": 2, "mem": 2}
+    )

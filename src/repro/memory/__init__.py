@@ -1,0 +1,22 @@
+"""Cache hierarchy substrate.
+
+Models the paper's memory system (Table I): 32KB 2-way L1I (1 cycle),
+32KB 2-way L1D (2 cycles), 2MB 8-way unified L2 (32 cycles), and 100ns
+main memory (200 cycles at the 2GHz clock).  Caches are set-associative,
+LRU, write-back/write-allocate, with a bounded pool of miss status holding
+registers (MSHRs) that merges misses to the same line — paper Section
+III-D ("loads are allocated a miss status holding register ... when the
+cache miss returns").
+"""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.mshr import MSHRFile
+from repro.memory.hierarchy import MemoryHierarchy, HierarchyConfig
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "MSHRFile",
+    "MemoryHierarchy",
+    "HierarchyConfig",
+]

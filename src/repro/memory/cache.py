@@ -1,0 +1,126 @@
+"""A set-associative, LRU, write-back/write-allocate cache model.
+
+Tag state only (trace-driven simulation never needs the data values).
+Each lookup either hits or misses; on a miss the caller is responsible for
+probing the next level and then calling :meth:`Cache.fill`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.writebacks = 0
+
+
+class Cache:
+    """One level of set-associative cache.
+
+    Args:
+        name: label for reports (``"L1D"`` etc.).
+        size: capacity in bytes.
+        assoc: number of ways.
+        line_size: bytes per line (power of two).
+        latency: hit latency in cycles.
+    """
+
+    def __init__(self, name: str, size: int, assoc: int,
+                 line_size: int = 64, latency: int = 1) -> None:
+        if size % (assoc * line_size) != 0:
+            raise ValueError(f"{name}: size {size} not divisible by "
+                             f"assoc*line_size {assoc * line_size}")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.latency = latency
+        self.num_sets = size // (assoc * line_size)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: number of sets must be a power of two")
+        self._set_mask = self.num_sets - 1
+        self._line_shift = line_size.bit_length() - 1
+        # Per-set mapping tag -> (last-use stamp, dirty); dict preserves no
+        # order we rely on — LRU uses the stamp.
+        self._sets: list = [dict() for _ in range(self.num_sets)]
+        self._stamp = 0
+        self.stats = CacheStats()
+
+    # -- address helpers ---------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        """Address of the line containing *addr*."""
+        return addr >> self._line_shift
+
+    def _index(self, line: int) -> int:
+        return line & self._set_mask
+
+    # -- operations --------------------------------------------------------
+
+    def lookup(self, addr: int, is_write: bool = False) -> bool:
+        """Access *addr*; return True on hit.  Updates LRU and stats."""
+        line = self.line_addr(addr)
+        cset = self._sets[self._index(line)]
+        self._stamp += 1
+        entry = cset.get(line)
+        if entry is not None:
+            cset[line] = (self._stamp, entry[1] or is_write)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Non-mutating presence check (oracle steering's functional query)."""
+        line = self.line_addr(addr)
+        return line in self._sets[self._index(line)]
+
+    def fill(self, addr: int, is_write: bool = False) -> Optional[int]:
+        """Install the line for *addr*; return the victim line address if a
+        dirty line was evicted (for write-back traffic accounting)."""
+        line = self.line_addr(addr)
+        idx = self._index(line)
+        cset = self._sets[idx]
+        self._stamp += 1
+        victim_writeback = None
+        if line not in cset and len(cset) >= self.assoc:
+            victim = min(cset, key=lambda l: cset[l][0])
+            if cset[victim][1]:
+                self.stats.writebacks += 1
+                victim_writeback = victim << self._line_shift
+            del cset[victim]
+        prior_dirty = cset[line][1] if line in cset else False
+        cset[line] = (self._stamp, prior_dirty or is_write)
+        return victim_writeback
+
+    def invalidate_all(self) -> None:
+        """Drop all lines (used between independent simulation runs)."""
+        for cset in self._sets:
+            cset.clear()
+        self._stamp = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Cache({self.name}, {self.size // 1024}KB, "
+                f"{self.assoc}-way, {self.latency}cyc)")

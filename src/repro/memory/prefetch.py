@@ -1,0 +1,84 @@
+"""Hardware prefetchers for the L1 data cache.
+
+Two classic designs:
+
+* **next-line** — on a demand miss to line *X*, fetch *X+1*;
+* **stride** — a small table of recent miss addresses detects constant
+  strides (positive or negative, any line distance) and runs a few lines
+  ahead of the stream.
+
+Prefetches consume MSHRs like demand misses (so a prefetcher can hurt by
+stealing MLP budget — worth measuring against the shelf, whose benefit
+also depends on memory-level parallelism).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class NextLinePrefetcher:
+    """Fetch line X+1 on a demand miss to line X."""
+
+    name = "next-line"
+
+    def __init__(self, degree: int = 1) -> None:
+        self.degree = degree
+
+    def on_miss(self, line: int) -> List[int]:
+        return [line + d for d in range(1, self.degree + 1)]
+
+    def on_hit(self, line: int) -> List[int]:
+        return []
+
+
+class StridePrefetcher:
+    """Detect constant-stride miss streams and run ahead of them."""
+
+    name = "stride"
+
+    def __init__(self, streams: int = 4, degree: int = 2,
+                 confirm: int = 2) -> None:
+        self.streams = streams
+        self.degree = degree
+        self.confirm = confirm
+        # each entry: [last_line, stride, confidence]
+        self._table: List[List[int]] = []
+
+    def on_miss(self, line: int) -> List[int]:
+        # match an existing stream?
+        for entry in self._table:
+            last, stride, conf = entry
+            if stride and line == last + stride:
+                entry[0] = line
+                entry[2] = min(conf + 1, self.confirm + 2)
+                if entry[2] >= self.confirm:
+                    return [line + stride * (d + 1)
+                            for d in range(self.degree)]
+                return []
+        # extend a stream whose head we just passed (new stride guess)
+        for entry in self._table:
+            last, _stride, _conf = entry
+            delta = line - last
+            if 0 < abs(delta) <= 8:
+                entry[:] = [line, delta, 1]
+                return []
+        # allocate a new stream (LRU-ish: drop the oldest)
+        self._table.append([line, 0, 0])
+        if len(self._table) > self.streams:
+            self._table.pop(0)
+        return []
+
+    def on_hit(self, line: int) -> List[int]:
+        return []
+
+
+def make_prefetcher(name: str):
+    """Factory for ``HierarchyConfig.l1d_prefetch`` values."""
+    if name == "none":
+        return None
+    if name == "next-line":
+        return NextLinePrefetcher()
+    if name == "stride":
+        return StridePrefetcher()
+    raise ValueError(f"unknown prefetcher {name!r}")

@@ -1,0 +1,34 @@
+"""Performance metrics and in-sequence/reordered classification.
+
+* :func:`stp` — system throughput (Eyerman & Eeckhout, paper [6]), the
+  paper's headline metric: the sum over threads of single-threaded CPI
+  divided by multi-threaded CPI.
+* :func:`antt` / :func:`fairness` — companion multiprogram metrics.
+* :mod:`repro.metrics.classify` — the in-sequence instruction analysis
+  behind Figures 1, 2 and 11.
+"""
+
+from repro.metrics.throughput import (antt, fairness, geomean,
+                                      harmonic_speedup, stp,
+                                      weighted_speedup)
+from repro.metrics.classify import (
+    SeriesDistribution,
+    insequence_fraction,
+    per_thread_insequence,
+    series_lengths,
+    weighted_cdf,
+)
+
+__all__ = [
+    "antt",
+    "fairness",
+    "geomean",
+    "harmonic_speedup",
+    "stp",
+    "weighted_speedup",
+    "SeriesDistribution",
+    "insequence_fraction",
+    "per_thread_insequence",
+    "series_lengths",
+    "weighted_cdf",
+]

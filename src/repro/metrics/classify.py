@@ -1,0 +1,119 @@
+"""In-sequence vs. reordered classification analysis.
+
+The pipeline classifies each instruction at issue time (Section II's
+definition: an instruction is *reordered* if it issues before its data,
+speculation and structural ordering dependences have all resolved;
+otherwise it is in-sequence).  This module aggregates those per-instruction
+flags into the paper's measurements:
+
+* Figure 1 — fraction of in-sequence instructions vs. SMT thread count;
+* Figure 2 — weighted cumulative distribution of consecutive in-sequence /
+  reordered series lengths;
+* Figure 11 — per-thread in-sequence fraction within selected mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.stats import SimResult, ThreadResult
+
+#: flag values in ``ThreadResult.insequence_flags``
+IN_SEQUENCE = 1
+REORDERED = 0
+UNKNOWN = 2  #: never issued before the run ended
+
+
+def _valid_flags(thread: ThreadResult) -> List[int]:
+    """Flags of instructions that actually issued, in program order."""
+    return [f for f in thread.insequence_flags if f != UNKNOWN]
+
+
+def insequence_fraction(result: SimResult) -> float:
+    """Fraction of issued instructions that were in-sequence, over all
+    threads (the Figure 1 statistic)."""
+    total = 0
+    inseq = 0
+    for t in result.threads:
+        flags = _valid_flags(t)
+        total += len(flags)
+        inseq += sum(1 for f in flags if f == IN_SEQUENCE)
+    return inseq / total if total else 0.0
+
+
+def per_thread_insequence(result: SimResult) -> List[Tuple[str, float]]:
+    """Per-thread ``(benchmark, in-sequence fraction)`` (Figure 11)."""
+    out = []
+    for t in result.threads:
+        flags = _valid_flags(t)
+        frac = (sum(1 for f in flags if f == IN_SEQUENCE) / len(flags)
+                if flags else 0.0)
+        out.append((t.benchmark, frac))
+    return out
+
+
+def series_lengths(thread: ThreadResult) -> Dict[str, List[int]]:
+    """Lengths of maximal consecutive runs of each class, program order."""
+    flags = _valid_flags(thread)
+    out: Dict[str, List[int]] = {"in_sequence": [], "reordered": []}
+    if not flags:
+        return out
+    current = flags[0]
+    run = 1
+    for f in flags[1:]:
+        if f == current:
+            run += 1
+        else:
+            key = "in_sequence" if current == IN_SEQUENCE else "reordered"
+            out[key].append(run)
+            current = f
+            run = 1
+    key = "in_sequence" if current == IN_SEQUENCE else "reordered"
+    out[key].append(run)
+    return out
+
+
+@dataclass
+class SeriesDistribution:
+    """Weighted CDF of series lengths (Figure 2's y-axis: the fraction of
+    *instructions* living in series of length <= x)."""
+
+    lengths: List[int]
+
+    def cdf_at(self, x: int) -> float:
+        total = sum(self.lengths)
+        if not total:
+            return 0.0
+        covered = sum(l for l in self.lengths if l <= x)
+        return covered / total
+
+    def percentile_length(self, p: float) -> int:
+        """Smallest series length covering fraction *p* of instructions."""
+        total = sum(self.lengths)
+        if not total:
+            return 0
+        acc = 0
+        for l in sorted(self.lengths):
+            acc += l
+            if acc / total >= p:
+                return l
+        return max(self.lengths)
+
+    def mean_weighted(self) -> float:
+        """Average series length experienced by an instruction."""
+        total = sum(self.lengths)
+        if not total:
+            return 0.0
+        return sum(l * l for l in self.lengths) / total
+
+
+def weighted_cdf(results: Sequence[SimResult]
+                 ) -> Dict[str, SeriesDistribution]:
+    """Pool series lengths across runs into per-class distributions."""
+    pooled: Dict[str, List[int]] = {"in_sequence": [], "reordered": []}
+    for res in results:
+        for t in res.threads:
+            for key, lens in series_lengths(t).items():
+                pooled[key].extend(lens)
+    return {k: SeriesDistribution(v) for k, v in pooled.items()}

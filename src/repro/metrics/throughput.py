@@ -1,0 +1,89 @@
+"""Multiprogram performance metrics.
+
+The paper measures system throughput (STP), "a metric proposed by Eyerman
+and Eeckhout that considers both performance improvement and fairness
+across threads in a multi-threaded mix.  STP is the sum of the ratios of
+each thread's clocks-per-instruction in single-threaded and multi-threaded
+execution.  It reflects the number of programs completed per unit time."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.stats import SimResult
+
+
+def stp(multi: SimResult, single_cpis: Sequence[float]) -> float:
+    """System throughput of a multiprogrammed run.
+
+    Args:
+        multi: result of the SMT run.
+        single_cpis: per-thread CPI of each benchmark running *alone* on
+            the same configuration (the metric's single-threaded reference).
+
+    Returns:
+        ``sum_i CPI_single_i / CPI_multi_i`` — at most the thread count,
+        and exactly 1.0 for a single-thread run against itself.
+    """
+    if len(single_cpis) != len(multi.threads):
+        raise ValueError("one single-thread CPI per SMT thread required")
+    total = 0.0
+    for t, ref in zip(multi.threads, single_cpis):
+        if not math.isfinite(t.cpi) or t.cpi <= 0:
+            continue  # thread made no progress: contributes zero
+        total += ref / t.cpi
+    return total
+
+
+def antt(multi: SimResult, single_cpis: Sequence[float]) -> float:
+    """Average normalized turnaround time (lower is better): the mean
+    per-thread slowdown ``CPI_multi / CPI_single``."""
+    if len(single_cpis) != len(multi.threads):
+        raise ValueError("one single-thread CPI per SMT thread required")
+    slowdowns = [t.cpi / ref for t, ref in zip(multi.threads, single_cpis)
+                 if ref > 0 and math.isfinite(t.cpi)]
+    return sum(slowdowns) / len(slowdowns) if slowdowns else float("inf")
+
+
+def fairness(multi: SimResult, single_cpis: Sequence[float]) -> float:
+    """Min/max ratio of per-thread normalized progress (1.0 = perfectly
+    fair, 0 = some thread starved)."""
+    progress = [ref / t.cpi for t, ref in zip(multi.threads, single_cpis)
+                if ref > 0 and math.isfinite(t.cpi) and t.cpi > 0]
+    if not progress:
+        return 0.0
+    return min(progress) / max(progress)
+
+
+def weighted_speedup(multi: SimResult,
+                     single_cpis: Sequence[float]) -> float:
+    """Snavely & Tullsen's weighted speedup — identical in form to STP
+    (sum of per-thread IPC ratios); provided under its common name."""
+    return stp(multi, single_cpis)
+
+
+def harmonic_speedup(multi: SimResult,
+                     single_cpis: Sequence[float]) -> float:
+    """Harmonic mean of per-thread speedups (Luo et al.): balances
+    throughput and fairness, punishing starved threads hard."""
+    if len(single_cpis) != len(multi.threads):
+        raise ValueError("one single-thread CPI per SMT thread required")
+    n = len(multi.threads)
+    denom = 0.0
+    for t, ref in zip(multi.threads, single_cpis):
+        if ref <= 0:
+            continue
+        if not math.isfinite(t.cpi) or t.cpi <= 0:
+            return 0.0  # a starved thread zeroes the harmonic mean
+        denom += t.cpi / ref
+    return n / denom if denom else 0.0
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper averages STP improvements this way)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,15 @@
+"""Register renaming with the paper's tag / physical-register separation.
+
+Section III-C decouples the two roles of a physical register index (PRI):
+storage destination and unique wakeup identifier.  IQ instructions allocate
+a fresh PRI whose index doubles as their tag (the original tag space).
+Shelf instructions *reuse* the previous PRI mapped to their destination and
+allocate only a fresh tag from an *extended tag space*, managed on a
+separate extension free list.  The register alias table (RAT) therefore
+maps each architectural register to a ``(PRI, tag)`` pair.
+"""
+
+from repro.rename.freelist import FreeList
+from repro.rename.rat import RegisterAliasTable, RenameRecord
+
+__all__ = ["FreeList", "RegisterAliasTable", "RenameRecord"]

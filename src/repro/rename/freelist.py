@@ -1,0 +1,69 @@
+"""Free lists for physical registers and extension tags."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional
+
+
+class FreeList:
+    """A FIFO free list of identifiers with occupancy tracking.
+
+    Used both for the physical free list (PRIs / original tag space) and
+    the extension free list (extended tag space), per paper Figure 7.
+    """
+
+    def __init__(self, ids: Iterable[int], name: str = "freelist") -> None:
+        self.name = name
+        self._free: Deque[int] = deque(ids)
+        self._capacity = len(self._free)
+        self._in_use = set()
+        self.min_free = len(self._free)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def can_allocate(self, n: int = 1) -> bool:
+        return len(self._free) >= n
+
+    def allocate(self) -> int:
+        """Pop one free identifier; raises if empty (callers must check)."""
+        if not self._free:
+            raise RuntimeError(f"{self.name}: allocate on empty free list")
+        ident = self._free.popleft()
+        self._in_use.add(ident)
+        self.min_free = min(self.min_free, len(self._free))
+        return ident
+
+    def release(self, ident: int) -> None:
+        """Return *ident* to the pool.  Double-free is an invariant error."""
+        if ident not in self._in_use:
+            raise RuntimeError(
+                f"{self.name}: double free or foreign id {ident}")
+        self._in_use.remove(ident)
+        self._free.append(ident)
+
+    def retain(self, ident: int) -> None:
+        """Mark *ident* as in use without allocating it from the pool.
+
+        Used at reset for the initial architectural mappings, which occupy
+        physical registers that were never popped from the list.
+        """
+        if ident in self._in_use:
+            raise RuntimeError(f"{self.name}: {ident} already retained")
+        self._in_use.add(ident)
+        self._capacity += 1
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def __contains__(self, ident: int) -> bool:
+        return ident in self._free
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FreeList({self.name}, {len(self._free)}/{self._capacity} free)"

@@ -1,0 +1,143 @@
+"""Register alias table mapping architectural registers to (PRI, tag).
+
+Implements the paper's extended rename stage (Figure 8): IQ instructions
+draw PRIs (= tags) from the physical free list, shelf instructions reuse
+the current PRI and draw a tag from the extension free list.  Every rename
+produces a :class:`RenameRecord` carrying the previous mapping, which
+serves three later purposes:
+
+* IQ retire — return the previous PRI (and extension tag, if any) to the
+  free lists;
+* shelf retire — return the previous tag to the extension free list when
+  it differs from the PRI;
+* squash — walk records youngest-to-oldest, restoring mappings and
+  releasing the allocated identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa.instruction import NUM_ARCH_REGS
+from repro.rename.freelist import FreeList
+
+
+@dataclass
+class RenameRecord:
+    """Undo/retire bookkeeping for one renamed instruction."""
+
+    arch: Optional[int]       #: destination architectural register (None if no dest)
+    pri: Optional[int]        #: destination PRI after rename
+    tag: Optional[int]        #: destination tag after rename
+    prev_pri: Optional[int]   #: PRI mapped before rename
+    prev_tag: Optional[int]   #: tag mapped before rename
+    to_shelf: bool            #: renamed through the shelf path?
+    src_tags: Tuple[int, ...] = ()
+    src_pris: Tuple[int, ...] = ()
+
+
+class RegisterAliasTable:
+    """Per-thread RAT over the combined (PRI, tag) mapping.
+
+    One instance covers all SMT threads; each thread has its own
+    architectural namespace (``NUM_ARCH_REGS`` entries).
+    """
+
+    def __init__(self, num_threads: int, phys_fl: FreeList,
+                 ext_fl: FreeList) -> None:
+        self.num_threads = num_threads
+        self.phys_fl = phys_fl
+        self.ext_fl = ext_fl
+        # map[tid][arch] = (pri, tag)
+        self._map: List[List[Tuple[int, int]]] = []
+        for tid in range(num_threads):
+            row = []
+            for arch in range(NUM_ARCH_REGS):
+                pri = tid * NUM_ARCH_REGS + arch
+                phys_fl.retain(pri)
+                row.append((pri, pri))
+            self._map.append(row)
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup(self, tid: int, arch: int) -> Tuple[int, int]:
+        """Current ``(PRI, tag)`` for architectural register *arch*."""
+        return self._map[tid][arch]
+
+    def source_operands(self, tid: int, srcs: Tuple[int, ...]
+                        ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Translate source registers; returns (pris, tags)."""
+        pris = []
+        tags = []
+        for s in srcs:
+            pri, tag = self._map[tid][s]
+            pris.append(pri)
+            tags.append(tag)
+        return tuple(pris), tuple(tags)
+
+    # -- rename paths ----------------------------------------------------------
+
+    def rename_iq(self, tid: int, dest: Optional[int],
+                  srcs: Tuple[int, ...]) -> RenameRecord:
+        """IQ path: allocate a fresh PRI; tag = PRI (original tag space).
+
+        Caller must first check ``phys_fl.can_allocate()``.
+        """
+        src_pris, src_tags = self.source_operands(tid, srcs)
+        if dest is None:
+            return RenameRecord(None, None, None, None, None, False,
+                                src_tags, src_pris)
+        prev_pri, prev_tag = self._map[tid][dest]
+        pri = self.phys_fl.allocate()
+        self._map[tid][dest] = (pri, pri)
+        return RenameRecord(dest, pri, pri, prev_pri, prev_tag, False,
+                            src_tags, src_pris)
+
+    def rename_shelf(self, tid: int, dest: Optional[int],
+                     srcs: Tuple[int, ...]) -> RenameRecord:
+        """Shelf path: keep the current PRI, allocate an extension tag.
+
+        Caller must first check ``ext_fl.can_allocate()``.
+        """
+        src_pris, src_tags = self.source_operands(tid, srcs)
+        if dest is None:
+            return RenameRecord(None, None, None, None, None, True,
+                                src_tags, src_pris)
+        prev_pri, prev_tag = self._map[tid][dest]
+        tag = self.ext_fl.allocate()
+        self._map[tid][dest] = (prev_pri, tag)
+        return RenameRecord(dest, prev_pri, tag, prev_pri, prev_tag, True,
+                            src_tags, src_pris)
+
+    # -- retire / squash ----------------------------------------------------
+
+    def retire(self, tid: int, rec: RenameRecord) -> None:
+        """Release identifiers made dead by *rec*'s instruction retiring."""
+        if rec.arch is None:
+            return
+        if rec.to_shelf:
+            # Shelf instructions free only the previous extension tag; the
+            # PRI remains live (still the current storage) — paper III-C.
+            if rec.prev_tag != rec.prev_pri:
+                self.ext_fl.release(rec.prev_tag)
+        else:
+            self.phys_fl.release(rec.prev_pri)
+            if rec.prev_tag != rec.prev_pri:
+                self.ext_fl.release(rec.prev_tag)
+
+    def squash(self, tid: int, rec: RenameRecord) -> None:
+        """Undo *rec* (called youngest-to-oldest during recovery)."""
+        if rec.arch is None:
+            return
+        self._map[tid][rec.arch] = (rec.prev_pri, rec.prev_tag)
+        if rec.to_shelf:
+            self.ext_fl.release(rec.tag)
+        else:
+            self.phys_fl.release(rec.pri)
+
+    # -- invariants (used by tests) ---------------------------------------------
+
+    def live_mappings(self) -> int:
+        """Number of distinct PRIs currently mapped by any thread."""
+        return len({pri for row in self._map for pri, _tag in row})

@@ -1,0 +1,29 @@
+"""Dynamic-instruction traces and synthetic SPEC-like workloads.
+
+The paper drives gem5 with SPEC CPU2006 SimPoints.  Without those inputs,
+this package provides 28 deterministic synthetic benchmark generators that
+span the behaviours the paper's evaluation depends on — serialized
+pointer-chasing, streaming MLP, high-ILP compute, branchy control flow and
+blends — plus the "Balanced Random" SMT mix methodology used in the paper
+(each benchmark appears an equal number of times across mixes).
+"""
+
+from repro.trace.trace import Trace, TraceCursor
+from repro.trace.workloads import (
+    BENCHMARK_NAMES,
+    WorkloadSpec,
+    benchmark_spec,
+    generate,
+)
+from repro.trace.mixes import balanced_random_mixes, mix_name
+
+__all__ = [
+    "Trace",
+    "TraceCursor",
+    "BENCHMARK_NAMES",
+    "WorkloadSpec",
+    "benchmark_spec",
+    "generate",
+    "balanced_random_mixes",
+    "mix_name",
+]

@@ -1,0 +1,54 @@
+"""Balanced Random SMT workload mixes.
+
+The paper generates mixes of the 28 SPEC benchmarks "such that each
+benchmark appears an equal number of times in each workload, according to
+the 'Balanced Random' mix methodology proposed by Velasquez et al." — i.e.
+a set of random mixes balanced so every benchmark has equal total
+representation.  With 28 mixes of 4 threads (112 slots), each of the 28
+benchmarks appears exactly 4 times.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.trace.workloads import BENCHMARK_NAMES
+
+
+def balanced_random_mixes(num_mixes: int = 28, threads_per_mix: int = 4,
+                          benchmarks: Sequence[str] = BENCHMARK_NAMES,
+                          seed: int = 2016) -> List[Tuple[str, ...]]:
+    """Build *num_mixes* mixes of *threads_per_mix* benchmarks each.
+
+    Every benchmark appears the same number of times across all mixes
+    (requires ``num_mixes * threads_per_mix`` to be a multiple of
+    ``len(benchmarks)``).  A mix never contains the same benchmark twice,
+    so each of its threads runs distinct code.
+
+    Returns a list of benchmark-name tuples, deterministic in *seed*.
+    """
+    slots = num_mixes * threads_per_mix
+    n = len(benchmarks)
+    if slots % n != 0:
+        raise ValueError(
+            f"{num_mixes} mixes x {threads_per_mix} threads = {slots} slots "
+            f"is not a multiple of {n} benchmarks; balance impossible")
+    copies = slots // n
+    rng = random.Random(seed)
+
+    # Rejection-sample permuted copy lists until every mix is duplicate-free.
+    for _attempt in range(10_000):
+        pool = [b for b in benchmarks for _ in range(copies)]
+        rng.shuffle(pool)
+        mixes = [tuple(pool[i * threads_per_mix:(i + 1) * threads_per_mix])
+                 for i in range(num_mixes)]
+        if all(len(set(m)) == threads_per_mix for m in mixes):
+            return mixes
+    raise RuntimeError("could not build duplicate-free balanced mixes")
+
+
+def mix_name(mix: Sequence[str]) -> str:
+    """Short display name for a mix (e.g. for axis labels, as in Fig. 11)."""
+    return "+".join(b.split(".")[0][:4] + "." + b.split(".")[1][:4]
+                    if "." in b else b[:8] for b in mix)

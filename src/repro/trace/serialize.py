@@ -1,0 +1,66 @@
+"""Trace serialization: save and reload dynamic instruction streams.
+
+Traces are stored as gzipped JSON-lines — one header record followed by
+one record per instruction — so generated workloads can be archived,
+diffed, and exchanged without re-running the generators.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.trace.trace import Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write *trace* to *path* (gzipped JSON lines)."""
+    path = Path(path)
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        fh.write(json.dumps({"format": _FORMAT_VERSION, "name": trace.name,
+                             "length": len(trace)}) + "\n")
+        for ins in trace:
+            rec = {"op": ins.op.name, "pc": ins.pc, "next_pc": ins.next_pc}
+            if ins.dest is not None:
+                rec["dest"] = ins.dest
+            if ins.srcs:
+                rec["srcs"] = list(ins.srcs)
+            if ins.mem_addr is not None:
+                rec["addr"] = ins.mem_addr
+                rec["size"] = ins.mem_size
+            if ins.taken is not None:
+                rec["taken"] = ins.taken
+            fh.write(json.dumps(rec) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format "
+                             f"{header.get('format')!r} in {path}")
+        instrs = []
+        for line in fh:
+            rec = json.loads(line)
+            instrs.append(Instruction(
+                op=OpClass[rec["op"]],
+                dest=rec.get("dest"),
+                srcs=tuple(rec.get("srcs", ())),
+                pc=rec["pc"],
+                next_pc=rec["next_pc"],
+                mem_addr=rec.get("addr"),
+                mem_size=rec.get("size", 4),
+                taken=rec.get("taken"),
+            ))
+    if len(instrs) != header["length"]:
+        raise ValueError(f"truncated trace: header says {header['length']} "
+                         f"instructions, file holds {len(instrs)}")
+    return Trace(header["name"], instrs)

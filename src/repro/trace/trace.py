@@ -1,0 +1,84 @@
+"""Trace container and replay cursor.
+
+A :class:`Trace` is an immutable sequence of :class:`~repro.isa.Instruction`
+records (a resolved dynamic instruction stream).  A :class:`TraceCursor`
+replays one, with rewind support so the pipeline can squash-and-replay after
+memory-order violations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.isa.instruction import Instruction
+
+
+class Trace:
+    """An immutable dynamic instruction stream with a name."""
+
+    __slots__ = ("name", "_instrs")
+
+    def __init__(self, name: str, instrs: Iterable[Instruction]) -> None:
+        self.name = name
+        self._instrs: List[Instruction] = list(instrs)
+
+    def __len__(self) -> int:
+        return len(self._instrs)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self._instrs[idx]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instrs)
+
+    @property
+    def instructions(self) -> Sequence[Instruction]:
+        return self._instrs
+
+    def stats(self) -> dict:
+        """Static composition of the trace (op-class fractions)."""
+        total = len(self._instrs) or 1
+        counts: dict = {}
+        for ins in self._instrs:
+            counts[ins.op.name] = counts.get(ins.op.name, 0) + 1
+        return {op: n / total for op, n in sorted(counts.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Trace({self.name!r}, {len(self)} instrs)"
+
+
+class TraceCursor:
+    """Replay position within a :class:`Trace`.
+
+    ``peek``/``advance`` feed the fetch stage; ``rewind`` supports replay
+    after a squash (the pipeline re-fetches from the squashed instruction's
+    per-thread sequence number).
+    """
+
+    __slots__ = ("trace", "pos")
+
+    def __init__(self, trace: Trace, pos: int = 0) -> None:
+        self.trace = trace
+        self.pos = pos
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.trace)
+
+    def peek(self) -> Optional[Instruction]:
+        """Next instruction to fetch, or ``None`` at end of trace."""
+        if self.exhausted:
+            return None
+        return self.trace[self.pos]
+
+    def advance(self) -> Instruction:
+        """Consume and return the next instruction."""
+        ins = self.trace[self.pos]
+        self.pos += 1
+        return ins
+
+    def rewind(self, seq: int) -> None:
+        """Reset replay position to per-thread sequence number *seq*."""
+        if not 0 <= seq <= len(self.trace):
+            raise ValueError(f"rewind target {seq} outside trace")
+        self.pos = seq

@@ -1,0 +1,81 @@
+"""Trace transformations: build new workloads from existing traces.
+
+Utilities for composing evaluation scenarios without writing generators:
+slicing phases out of a trace, repeating a region (loop amplification),
+concatenating kernels into phase-change workloads, and relocating a
+trace's data so multiple copies of one benchmark don't constructively
+share the caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence
+
+from repro.isa.instruction import Instruction
+from repro.trace.trace import Trace
+
+
+def slice_trace(trace: Trace, start: int, length: int,
+                name: str = "") -> Trace:
+    """A window of *trace*: instructions ``[start, start + length)``."""
+    if start < 0 or start + length > len(trace):
+        raise ValueError(f"slice [{start}, {start + length}) outside "
+                         f"trace of {len(trace)}")
+    return Trace(name or f"{trace.name}[{start}:{start + length}]",
+                 trace.instructions[start:start + length])
+
+
+def repeat_trace(trace: Trace, times: int, name: str = "") -> Trace:
+    """The trace replayed *times* times back to back."""
+    if times < 1:
+        raise ValueError("times must be >= 1")
+    instrs: List[Instruction] = []
+    for _ in range(times):
+        instrs.extend(trace.instructions)
+    return Trace(name or f"{trace.name}x{times}", instrs)
+
+
+def concat_traces(traces: Sequence[Trace], name: str = "") -> Trace:
+    """Phase-change workload: the traces executed one after another."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    instrs: List[Instruction] = []
+    for t in traces:
+        instrs.extend(t.instructions)
+    return Trace(name or "+".join(t.name for t in traces), instrs)
+
+
+def relocate_data(trace: Trace, offset: int, name: str = "") -> Trace:
+    """Shift every data address by *offset* bytes (cache-conflict-free
+    copies of one benchmark for homogeneous SMT mixes)."""
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    instrs = [replace(ins, mem_addr=ins.mem_addr + offset)
+              if ins.mem_addr is not None else ins
+              for ins in trace.instructions]
+    return Trace(name or f"{trace.name}@+{offset:#x}", instrs)
+
+
+def relocate_code(trace: Trace, offset: int, name: str = "") -> Trace:
+    """Shift every PC by *offset* bytes (distinct predictor/I-cache
+    footprints for homogeneous mixes)."""
+    if offset < 0 or offset % 4:
+        raise ValueError("offset must be non-negative and 4-aligned")
+    instrs = []
+    for ins in trace.instructions:
+        instrs.append(replace(ins, pc=ins.pc + offset,
+                              next_pc=ins.next_pc + offset))
+    return Trace(name or f"{trace.name}@pc+{offset:#x}", instrs)
+
+
+def homogeneous_mix(trace: Trace, copies: int,
+                    stride: int = 1 << 24) -> List[Trace]:
+    """*copies* cache- and predictor-independent clones of one trace, for
+    homogeneous SMT experiments (thread *i*'s data and code live *i* x
+    *stride* bytes away)."""
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    return [relocate_code(relocate_data(trace, i * stride), i * stride,
+                          name=f"{trace.name}#{i}")
+            for i in range(copies)]

@@ -1,0 +1,84 @@
+"""Tests for the checkpointed campaign runner."""
+
+import json
+
+import pytest
+
+from repro.harness.campaign import Campaign, CampaignPoint, standard_campaign
+from repro.harness.configs import base64_config, shelf_config
+
+
+def tiny_points(n=2, length=250):
+    mixes = [("ilp.int8", "serial.alu"), ("branchy.easy", "gather.small")]
+    cfg = base64_config(2)
+    return [CampaignPoint("Base64", cfg, mixes[i % 2], length, seed=i)
+            for i in range(n)]
+
+
+class TestCampaign:
+    def test_runs_and_checkpoints(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        camp = Campaign(path, tiny_points())
+        assert camp.completed == 0
+        records = camp.run()
+        assert len(records) == 2
+        assert camp.completed == 2
+        # file holds one JSON record per line
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        rec = json.loads(lines[0])
+        assert rec["cycles"] > 0 and rec["threads"]
+
+    def test_resume_skips_completed(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        Campaign(path, tiny_points()).run()
+        resumed = Campaign(path, tiny_points())
+        assert resumed.pending == []
+        # running again must not duplicate records
+        resumed.run()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_partial_resume(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        points = tiny_points()
+        Campaign(path, points[:1]).run()
+        camp = Campaign(path, points)
+        assert len(camp.pending) == 1
+        camp.run()
+        assert camp.completed == 2
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        camp = Campaign(tmp_path / "c.jsonl", tiny_points())
+        camp.run(progress=lambda key, done, total: seen.append((done,
+                                                                total)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_duplicate_points_rejected(self, tmp_path):
+        p = tiny_points(1)
+        with pytest.raises(ValueError):
+            Campaign(tmp_path / "c.jsonl", p + p)
+
+    def test_dataframe_rows_flatten_threads(self, tmp_path):
+        camp = Campaign(tmp_path / "c.jsonl", tiny_points(1))
+        camp.run()
+        rows = camp.dataframe_rows()
+        assert len(rows) == 2  # two threads in the mix
+        assert {r["benchmark"] for r in rows} == {"ilp.int8", "serial.alu"}
+        assert all(r["cpi"] > 0 for r in rows)
+
+    def test_standard_campaign_grid(self, tmp_path):
+        mixes = [("ilp.int8", "serial.alu", "branchy.easy", "gather.small")]
+        camp = standard_campaign(tmp_path / "s.jsonl", mixes, 200)
+        # 4 evaluated configs x 1 mix
+        assert len(camp.points) == 4
+        names = {p.config_name for p in camp.points}
+        assert names == {"Base64", "Shelf64-cons", "Shelf64-opt", "Base128"}
+
+    def test_custom_configs(self, tmp_path):
+        mixes = [("ilp.int8", "serial.alu")]
+        camp = standard_campaign(
+            tmp_path / "s.jsonl", mixes, 200,
+            configs={"A": base64_config(2), "B": shelf_config(2)})
+        camp.run()
+        assert camp.completed == 2

@@ -1,0 +1,95 @@
+"""Tests for the result-comparison report and multi-thread property
+tests on random programs."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import compare_results
+from repro.core import CoreConfig, Pipeline, simulate
+from repro.harness.configs import base64_config, shelf_config
+from repro.trace import Trace, generate
+from tests.test_properties import random_program
+
+
+class TestCompareResults:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        traces = [generate("mixed.int", 800, 0)]
+        base = simulate(base64_config(1), traces, stop="all")
+        cand = simulate(shelf_config(1, shelf_entries=16), traces,
+                        stop="all")
+        return base, cand
+
+    def test_speedup_and_cycles(self, pair):
+        base, cand = pair
+        cmp = compare_results(base, cand)
+        assert cmp.cycles == (base.cycles, cand.cycles)
+        assert cmp.speedup == pytest.approx(base.cycles / cand.cycles)
+
+    def test_thread_rows_match_benchmarks(self, pair):
+        cmp = compare_results(*pair)
+        assert cmp.thread_cpi[0][0] == "mixed.int"
+
+    def test_event_deltas_sorted_by_magnitude(self, pair):
+        cmp = compare_results(*pair)
+        rels = [abs(r) if r != float("inf") else 10.0
+                for _, _, _, r in cmp.event_deltas]
+        assert rels == sorted(rels, reverse=True)
+
+    def test_shelf_events_appear_as_new(self, pair):
+        cmp = compare_results(*pair)
+        names = {d[0] for d in cmp.event_deltas}
+        assert "shelf_issues" in names
+
+    def test_mismatched_workloads_rejected(self, pair):
+        base, _ = pair
+        other = simulate(base64_config(1),
+                         [generate("ilp.int8", 300, 0)], stop="all")
+        with pytest.raises(ValueError):
+            compare_results(base, other)
+
+    def test_format_readable(self, pair):
+        text = compare_results(*pair).format()
+        assert "speedup" in text and "per-thread CPI" in text
+        assert "mixed.int" in text
+
+
+class TestSMTRandomPrograms:
+    """Multi-thread invariants on random programs."""
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(random_program(max_len=60), random_program(max_len=60))
+    def test_two_threads_retire_everything(self, tr_a, tr_b):
+        cfg = CoreConfig(num_threads=2, shelf_entries=16,
+                         steering="practical")
+        pipe = Pipeline(cfg, [tr_a, tr_b])
+        res = pipe.run(stop="all")
+        assert res.threads[0].retired == len(tr_a)
+        assert res.threads[1].retired == len(tr_b)
+        pipe.check_final_invariants()
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(random_program(max_len=60))
+    def test_homogeneous_pair_shares_nothing_architectural(self, tr):
+        # Two copies of one program must both complete with identical
+        # retired counts; their interleaving cannot corrupt either.
+        cfg = CoreConfig(num_threads=2, shelf_entries=16,
+                         steering="practical")
+        pipe = Pipeline(cfg, [tr, Trace("copy", list(tr))])
+        res = pipe.run(stop="all")
+        assert res.threads[0].retired == res.threads[1].retired == len(tr)
+        pipe.check_final_invariants()
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(random_program(max_len=80))
+    def test_tso_random_programs(self, tr):
+        cfg = CoreConfig(num_threads=1, shelf_entries=16,
+                         steering="practical", memory_model="tso")
+        pipe = Pipeline(cfg, [tr])
+        res = pipe.run(stop="all")
+        assert res.threads[0].retired == len(tr)
+        pipe.check_final_invariants()

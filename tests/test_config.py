@@ -1,0 +1,95 @@
+"""Unit tests for CoreConfig validation and derived properties."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.isa.instruction import NUM_ARCH_REGS
+
+
+class TestValidation:
+    def test_defaults_are_table1(self):
+        cfg = CoreConfig()
+        assert cfg.num_threads == 4
+        assert cfg.rob_entries == 64
+        assert cfg.clock_ghz == 2.0
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_threads=0)
+
+    def test_partition_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_threads=3)  # 64 ROB not divisible by 3
+        with pytest.raises(ValueError):
+            CoreConfig(num_threads=4, lq_entries=30)
+
+    def test_shelf_must_split_evenly(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_threads=4, shelf_entries=50,
+                       steering="practical")
+
+    def test_shelf_partition_power_of_two(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_threads=4, shelf_entries=24,
+                       steering="practical")  # 6 per thread
+        CoreConfig(num_threads=4, shelf_entries=32, steering="practical")
+
+    def test_steering_requires_shelf(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_threads=4, steering="practical")  # no shelf
+
+    def test_unknown_steering_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_threads=4, shelf_entries=64,
+                       steering="vibes")
+
+    def test_unknown_memory_model_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_threads=1, memory_model="sc")
+
+
+class TestDerived:
+    def test_partition_sizes(self):
+        cfg = CoreConfig(num_threads=4, shelf_entries=64,
+                         steering="practical")
+        assert cfg.rob_per_thread == 16
+        assert cfg.lq_per_thread == cfg.sq_per_thread == 8
+        assert cfg.shelf_per_thread == 16
+
+    def test_prf_sizing(self):
+        cfg = CoreConfig(num_threads=4)
+        assert cfg.prf_entries == NUM_ARCH_REGS * 4 + 64
+        bigger = CoreConfig(num_threads=4, rob_entries=128, iq_entries=64,
+                            lq_entries=64, sq_entries=64)
+        assert bigger.prf_entries == NUM_ARCH_REGS * 4 + 128
+
+    def test_prf_extra_override(self):
+        cfg = CoreConfig(num_threads=1, prf_extra=100)
+        assert cfg.prf_entries == NUM_ARCH_REGS + 100
+
+    def test_ext_tags_cover_indices_and_live_mappings(self):
+        cfg = CoreConfig(num_threads=4, shelf_entries=64,
+                         steering="practical")
+        assert cfg.ext_tags == 2 * 64 + NUM_ARCH_REGS * 4
+        assert CoreConfig(num_threads=4).ext_tags == 0
+
+    def test_with_threads_rescales(self):
+        cfg = CoreConfig(num_threads=4, shelf_entries=64,
+                         steering="practical")
+        one = cfg.with_threads(1)
+        assert one.num_threads == 1
+        assert one.shelf_entries == 64  # totals stay; partitions follow
+        assert one.shelf_per_thread == 64
+
+    def test_labels(self):
+        assert CoreConfig(num_threads=4).label() == "Base64"
+        cfg = CoreConfig(num_threads=4, shelf_entries=64,
+                         steering="practical",
+                         shelf_same_cycle_issue=True)
+        assert "Shelf64" in cfg.label() and "opt" in cfg.label()
+
+    def test_hashable_for_run_cache(self):
+        a = CoreConfig(num_threads=4)
+        b = CoreConfig(num_threads=4)
+        assert hash(a) == hash(b) and a == b
+        assert a != CoreConfig(num_threads=4, iq_entries=64)

@@ -1,0 +1,281 @@
+"""Unit tests for the scheduling structures: scoreboard, issue tracker,
+SSRs, shelf partition and store sets."""
+
+import pytest
+
+from repro.core.dynamic import DynInstr
+from repro.core.issue_tracking import IssueTracker
+from repro.core.scoreboard import Scoreboard, UNWRITTEN
+from repro.core.shelf import ShelfPartition
+from repro.core.ssr import SpeculationShiftRegisters
+from repro.core.store_sets import StoreSets
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+
+
+def _dyn(tid=0, seq=0, gseq=0, op=OpClass.INT_ALU, pc=0x1000, addr=None):
+    kw = dict(op=op, dest=1 if op not in (OpClass.STORE, OpClass.BRANCH)
+              else None, srcs=(2,), pc=pc, next_pc=pc + 4)
+    if op in (OpClass.LOAD, OpClass.STORE):
+        kw["mem_addr"] = addr if addr is not None else 0x100
+    if op is OpClass.BRANCH:
+        kw["taken"] = True
+    return DynInstr(tid, seq, gseq, Instruction(**kw), 1)
+
+
+class TestScoreboard:
+    def test_initial_unwritten(self):
+        sb = Scoreboard(8)
+        assert not sb.is_ready(3, 10**9)
+
+    def test_mark_initial(self):
+        sb = Scoreboard(8)
+        sb.mark_initial(3)
+        assert sb.is_ready(3, 0)
+
+    def test_set_ready_future(self):
+        sb = Scoreboard(8)
+        sb.set_ready(2, 15)
+        assert not sb.is_ready(2, 14)
+        assert sb.is_ready(2, 15)
+
+    def test_all_ready(self):
+        sb = Scoreboard(8)
+        sb.set_ready(1, 5)
+        sb.set_ready(2, 9)
+        assert not sb.all_ready((1, 2), 8)
+        assert sb.all_ready((1, 2), 9)
+        assert sb.all_ready((), 0)
+
+    def test_earliest_issue(self):
+        sb = Scoreboard(8)
+        sb.set_ready(1, 5)
+        sb.set_ready(2, 9)
+        assert sb.earliest_issue((1, 2)) == 9
+        assert sb.earliest_issue(()) == 0
+
+    def test_clear(self):
+        sb = Scoreboard(8)
+        sb.set_ready(1, 5)
+        sb.clear(1)
+        assert sb.ready_at(1) == UNWRITTEN
+
+
+class TestIssueTracker:
+    def test_head_advances_in_order(self):
+        t = IssueTracker()
+        a, b, c = t.allocate(), t.allocate(), t.allocate()
+        t.mark_issued(a)
+        assert t.head == b
+        t.mark_issued(b)
+        assert t.head == c
+
+    def test_out_of_order_issue_holds_head(self):
+        t = IssueTracker()
+        a, b = t.allocate(), t.allocate()
+        t.mark_issued(b)  # younger issues first
+        assert t.head == a
+        assert not t.all_issued_through(a)
+        t.mark_issued(a)
+        assert t.all_issued_through(b)
+
+    def test_all_issued_through_semantics(self):
+        t = IssueTracker()
+        a = t.allocate()
+        assert t.all_issued_through(a - 1)  # nothing before a
+        assert not t.all_issued_through(a)
+        t.mark_issued(a)
+        assert t.all_issued_through(a)
+
+    def test_discard_behaves_like_issue(self):
+        t = IssueTracker()
+        a, b = t.allocate(), t.allocate()
+        t.discard(a)
+        assert t.head == b
+
+    def test_last_allocated(self):
+        t = IssueTracker()
+        assert t.last_allocated == -1
+        a = t.allocate()
+        assert t.last_allocated == a
+
+    def test_outstanding_count(self):
+        t = IssueTracker()
+        t.allocate()
+        b = t.allocate()
+        t.mark_issued(b)
+        assert t.outstanding == 1
+
+
+class TestSSR:
+    def test_shift_decrements(self):
+        ssr = SpeculationShiftRegisters()
+        ssr.record_iq_speculation(3)
+        ssr.tick()
+        assert ssr.iq_ssr == 2
+        for _ in range(5):
+            ssr.tick()
+        assert ssr.iq_ssr == 0
+
+    def test_max_merge(self):
+        ssr = SpeculationShiftRegisters()
+        ssr.record_iq_speculation(3)
+        ssr.record_iq_speculation(2)  # shorter: no effect
+        assert ssr.iq_ssr == 3
+        ssr.record_iq_speculation(7)
+        assert ssr.iq_ssr == 7
+
+    def test_dual_isolation_until_copy(self):
+        # Paper III-B: IQ instructions update only the IQ SSR; the shelf
+        # consults only the shelf SSR until the run-boundary copy.
+        ssr = SpeculationShiftRegisters(dual=True)
+        ssr.record_iq_speculation(9)
+        assert ssr.shelf_may_issue(1)
+        ssr.copy_to_shelf()
+        assert not ssr.shelf_may_issue(1)
+        assert ssr.shelf_may_issue(9)
+
+    def test_single_ssr_merges_everything(self):
+        ssr = SpeculationShiftRegisters(dual=False)
+        ssr.record_iq_speculation(9)
+        assert not ssr.shelf_may_issue(1)  # starvation-prone design
+
+    def test_copy_keeps_larger_shelf_value(self):
+        ssr = SpeculationShiftRegisters()
+        ssr.record_shelf_speculation(10)
+        ssr.record_iq_speculation(4)
+        ssr.copy_to_shelf()
+        assert ssr.shelf_ssr == 10
+
+    def test_shelf_issue_condition_is_geq(self):
+        ssr = SpeculationShiftRegisters()
+        ssr.record_shelf_speculation(5)
+        assert ssr.shelf_may_issue(5)
+        assert not ssr.shelf_may_issue(4)
+
+
+class TestShelfPartition:
+    def test_fifo_order(self):
+        s = ShelfPartition(4)
+        a, b = _dyn(seq=0), _dyn(seq=1)
+        s.allocate(a)
+        s.allocate(b)
+        assert s.head is a
+        assert s.pop_issued() is a
+        assert s.head is b
+
+    def test_entry_capacity(self):
+        s = ShelfPartition(2)
+        s.allocate(_dyn(seq=0))
+        s.allocate(_dyn(seq=1))
+        assert not s.can_dispatch(None)
+        s.pop_issued()  # entry recycled at issue
+        assert s.can_dispatch(None)
+
+    def test_virtual_index_space_is_doubled(self):
+        s = ShelfPartition(2)
+        assert s.index_space == 4
+        dyns = [_dyn(seq=i) for i in range(4)]
+        for d in dyns:
+            s.allocate(d)
+            s.pop_issued()  # entries never limit here
+        # 4 live indices, none retired: index space exhausted.
+        assert not s.can_dispatch(None)
+        s.mark_retired(dyns[0].shelf_idx)
+        assert s.can_dispatch(None)
+
+    def test_rob_reservation_blocks_index_reuse(self):
+        # Paper III-B: the shelf squash index at the head of the ROB is a
+        # reservation pointer; indices it references cannot be reused.
+        s = ShelfPartition(2)
+        dyns = [_dyn(seq=i) for i in range(4)]
+        for d in dyns:
+            s.allocate(d)
+            s.pop_issued()
+            s.mark_retired(d.shelf_idx)
+        assert s.can_dispatch(None)
+        assert not s.can_dispatch(0)  # ROB still references index 0
+
+    def test_retire_pointer_contiguous_advance(self):
+        s = ShelfPartition(4)
+        dyns = [_dyn(seq=i) for i in range(3)]
+        for d in dyns:
+            s.allocate(d)
+            s.pop_issued()
+        s.mark_retired(dyns[1].shelf_idx)  # out of order completion
+        assert s.retire_ptr == 0
+        s.mark_retired(dyns[0].shelf_idx)
+        assert s.retire_ptr == 2
+        assert s.all_retired_through(2)
+        assert not s.all_retired_through(3)
+
+    def test_squash_rolls_back_tail(self):
+        s = ShelfPartition(4)
+        dyns = [_dyn(seq=i) for i in range(3)]
+        for d in dyns:
+            s.allocate(d)
+        s.squash_from(dyns[1].shelf_idx)
+        assert s.tail == dyns[1].shelf_idx
+        assert s.occupancy == 1
+        assert s.head is dyns[0]
+
+    def test_squash_after_retire_asserts(self):
+        s = ShelfPartition(4)
+        d = _dyn(seq=0)
+        s.allocate(d)
+        s.pop_issued()
+        s.mark_retired(d.shelf_idx)
+        with pytest.raises(AssertionError):
+            s.squash_from(d.shelf_idx)
+
+
+class TestStoreSets:
+    def test_untrained_load_never_waits(self):
+        ss = StoreSets()
+        ld = _dyn(op=OpClass.LOAD, gseq=5)
+        assert ss.load_must_wait_for(ld) is None
+
+    def test_violation_trains_dependence(self):
+        ss = StoreSets()
+        st = _dyn(op=OpClass.STORE, pc=0x2000, gseq=1)
+        ld = _dyn(op=OpClass.LOAD, pc=0x3000, gseq=2)
+        ss.train_violation(ld, st)
+        ss.store_dispatched(st)
+        assert ss.load_must_wait_for(ld) is st
+
+    def test_executed_store_releases_loads(self):
+        ss = StoreSets()
+        st = _dyn(op=OpClass.STORE, pc=0x2000, gseq=1)
+        ld = _dyn(op=OpClass.LOAD, pc=0x3000, gseq=2)
+        ss.train_violation(ld, st)
+        ss.store_dispatched(st)
+        st.executed = True
+        ss.store_executed(st)
+        assert ss.load_must_wait_for(ld) is None
+
+    def test_elder_load_ignores_younger_store(self):
+        ss = StoreSets()
+        st = _dyn(op=OpClass.STORE, pc=0x2000, gseq=9)
+        ld = _dyn(op=OpClass.LOAD, pc=0x3000, gseq=2)
+        ss.train_violation(ld, st)
+        ss.store_dispatched(st)
+        assert ss.load_must_wait_for(ld) is None
+
+    def test_squashed_store_released(self):
+        ss = StoreSets()
+        st = _dyn(op=OpClass.STORE, pc=0x2000, gseq=1)
+        ld = _dyn(op=OpClass.LOAD, pc=0x3000, gseq=2)
+        ss.train_violation(ld, st)
+        ss.store_dispatched(st)
+        st.squashed = True
+        ss.store_squashed(st)
+        assert ss.load_must_wait_for(ld) is None
+
+    def test_merging_sets(self):
+        ss = StoreSets()
+        st1 = _dyn(op=OpClass.STORE, pc=0x2000, gseq=1)
+        ld = _dyn(op=OpClass.LOAD, pc=0x3000, gseq=5)
+        ss.train_violation(ld, st1)
+        st2 = _dyn(op=OpClass.STORE, pc=0x2000, gseq=3)
+        ss.store_dispatched(st2)
+        assert ss.load_must_wait_for(ld) is st2

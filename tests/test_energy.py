@@ -1,0 +1,145 @@
+"""Unit tests for the energy / power / area models."""
+
+import pytest
+
+from repro.core import CoreConfig, simulate
+from repro.energy import (
+    StructureSpec,
+    area_report,
+    core_structures,
+    edp,
+    edp_improvement,
+    energy_report,
+)
+from repro.harness.configs import base64_config, base128_config, shelf_config
+from repro.trace import generate
+
+
+class TestStructureSpec:
+    def test_cam_scales_linearly(self):
+        small = StructureSpec("iq", "cam", 32, 92)
+        big = StructureSpec("iq", "cam", 64, 92)
+        assert big.access_pj() == pytest.approx(2 * small.access_pj())
+
+    def test_ram_scales_sublinearly(self):
+        small = StructureSpec("rob", "ram", 64, 84)
+        big = StructureSpec("rob", "ram", 128, 84)
+        ratio = big.access_pj() / small.access_pj()
+        assert 1.2 < ratio < 1.6  # sqrt scaling
+
+    def test_fifo_is_nearly_flat(self):
+        small = StructureSpec("shelf", "fifo", 16, 70)
+        big = StructureSpec("shelf", "fifo", 64, 70)
+        assert big.access_pj() / small.access_pj() < 1.6
+
+    def test_fifo_cheaper_than_cam_at_same_size(self):
+        # The paper's core efficiency argument in one assertion.
+        fifo = StructureSpec("shelf", "fifo", 64, 70)
+        cam = StructureSpec("iq", "cam", 64, 70)
+        assert fifo.access_pj() < 0.2 * cam.access_pj()
+
+    def test_cam_cells_cost_double_area(self):
+        cam = StructureSpec("x", "cam", 32, 64)
+        ram = StructureSpec("x", "ram", 32, 64)
+        assert cam.area_units() == pytest.approx(2 * ram.area_units())
+
+    def test_leakage_proportional_to_bits(self):
+        a = StructureSpec("x", "ram", 32, 64)
+        b = StructureSpec("x", "ram", 64, 64)
+        assert b.leakage_mw() == pytest.approx(2 * a.leakage_mw())
+
+
+class TestCoreStructures:
+    def test_baseline_has_no_shelf_structures(self):
+        s = core_structures(base64_config(4))
+        assert "shelf" not in s and "rct" not in s
+
+    def test_shelf_config_adds_structures(self):
+        s = core_structures(shelf_config(4))
+        for name in ("shelf", "issue_track", "ssr", "rct", "plt",
+                     "rename_ext"):
+            assert name in s, name
+        assert s["shelf"].kind == "fifo"
+
+    def test_base128_doubles_window_entries(self):
+        s64 = core_structures(base64_config(4))
+        s128 = core_structures(base128_config(4))
+        for name in ("rob", "iq", "lq", "sq"):
+            assert s128[name].entries == 2 * s64[name].entries
+
+
+class TestEnergyReport:
+    @pytest.fixture(scope="class")
+    def run(self):
+        cfg = base64_config(1)
+        res = simulate(cfg, [generate("mixed.int", 1200, 0)], stop="all")
+        return cfg, res
+
+    def test_report_totals_consistent(self, run):
+        cfg, res = run
+        rep = energy_report(cfg, res)
+        assert rep.total_pj == pytest.approx(
+            sum(rep.dynamic_pj.values()) + rep.leakage_pj)
+        assert rep.power_w > 0
+        assert rep.time_s == pytest.approx(res.cycles / 2e9)
+
+    def test_plausible_power_range(self, run):
+        cfg, res = run
+        rep = energy_report(cfg, res)
+        assert 0.1 < rep.power_w < 5.0  # a small core, not a space heater
+
+    def test_shelf_energy_counted_only_with_shelf(self, run):
+        cfg, res = run
+        rep = energy_report(cfg, res)
+        assert "shelf" not in rep.dynamic_pj
+        sc = shelf_config(1, shelf_entries=16)
+        res2 = simulate(sc, [generate("mixed.int", 1200, 0)], stop="all")
+        rep2 = energy_report(sc, res2)
+        assert rep2.dynamic_pj.get("shelf", 0) > 0
+
+    def test_summary_readable(self, run):
+        cfg, res = run
+        text = energy_report(cfg, res).summary()
+        assert "W" in text and "%" in text
+
+
+class TestEDP:
+    def test_edp_formula(self):
+        cfg = base64_config(1)
+        res = simulate(cfg, [generate("ilp.int4", 800, 0)], stop="all")
+        rep = energy_report(cfg, res)
+        assert edp(rep) == pytest.approx(rep.energy_j * rep.time_s)
+
+    def test_improvement_sign(self):
+        cfg = base64_config(1)
+        res = simulate(cfg, [generate("ilp.int4", 800, 0)], stop="all")
+        rep = energy_report(cfg, res)
+        assert edp_improvement(rep, rep) == pytest.approx(0.0)
+
+
+class TestAreaReport:
+    def test_table2_calibration(self):
+        base = area_report(base64_config(4))
+        shelf = area_report(shelf_config(4))
+        big = area_report(base128_config(4))
+        # Paper Table II: +3.1%/+9.7% excluding L1; +2.1%/+6.6% including.
+        assert shelf.increase_over(base, False) == pytest.approx(0.031,
+                                                                 abs=0.008)
+        assert big.increase_over(base, False) == pytest.approx(0.097,
+                                                               abs=0.02)
+        assert shelf.increase_over(base, True) == pytest.approx(0.021,
+                                                                abs=0.006)
+        assert big.increase_over(base, True) == pytest.approx(0.066,
+                                                              abs=0.015)
+
+    def test_l1_area_positive_and_excludable(self):
+        rep = area_report(base64_config(4))
+        assert rep.l1_area > 0
+        assert rep.total(include_l1=True) == \
+            rep.total(include_l1=False) + rep.l1_area
+
+    def test_shelf_cheaper_than_doubling(self):
+        base = area_report(base64_config(4))
+        shelf = area_report(shelf_config(4))
+        big = area_report(base128_config(4))
+        assert shelf.increase_over(base) < big.increase_over(base)

@@ -1,0 +1,86 @@
+"""Smoke tests for every experiment module at a tiny scale.
+
+Each experiment must return a well-formed :class:`ExperimentResult` whose
+rows, headers and findings are consistent.  These run small (a few hundred
+instructions) — the benches exercise real scales.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentResult, sample_mixes
+from repro.harness.runner import RunScale
+
+TINY = RunScale("tiny", 400, 2)
+
+#: experiments cheap enough for the unit suite (the rest are bench-only).
+CHEAP = ["fig01", "fig02", "fig11", "tab02", "fig13"]
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    return {key: ALL_EXPERIMENTS[key].run(TINY) for key in CHEAP}
+
+
+class TestExperimentContracts:
+    @pytest.mark.parametrize("key", CHEAP)
+    def test_result_shape(self, tiny_results, key):
+        res = tiny_results[key]
+        assert isinstance(res, ExperimentResult)
+        assert res.rows, key
+        for row in res.rows:
+            assert len(row) == len(res.headers), key
+        assert res.paper_claim
+        assert res.findings
+
+    @pytest.mark.parametrize("key", CHEAP)
+    def test_format_is_printable(self, tiny_results, key):
+        text = tiny_results[key].format()
+        assert tiny_results[key].experiment in text
+        assert "paper:" in text
+
+    def test_fig01_rows_cover_thread_counts(self, tiny_results):
+        labels = [r[0] for r in tiny_results["fig01"].rows]
+        assert labels == ["1 thread(s)", "2 thread(s)", "4 thread(s)",
+                          "8 thread(s)"]
+        for _, mean, lo, hi in tiny_results["fig01"].rows:
+            assert 0.0 <= lo <= mean <= hi <= 1.0
+
+    def test_fig02_cdf_is_monotone(self, tiny_results):
+        rows = tiny_results["fig02"].rows
+        inseq = [r[1] for r in rows]
+        reord = [r[2] for r in rows]
+        assert inseq == sorted(inseq)
+        assert reord == sorted(reord)
+        assert inseq[-1] == pytest.approx(1.0)
+
+    def test_fig11_fractions_in_range(self, tiny_results):
+        for row in tiny_results["fig11"].rows:
+            assert 0.0 <= row[2] <= 1.0
+
+    def test_tab02_scale_independent(self, tiny_results):
+        # The area table is static: any scale gives identical numbers.
+        again = ALL_EXPERIMENTS["tab02"].run(RunScale("x", 10, 1))
+        assert again.rows == tiny_results["tab02"].rows
+
+    def test_fig13_base64_row_is_zero(self, tiny_results):
+        base_row = next(r for r in tiny_results["fig13"].rows
+                        if r[0] == "Base64")
+        assert base_row[1] == 0.0
+
+
+class TestSampleMixes:
+    def test_deterministic(self):
+        assert sample_mixes(4, 5) == sample_mixes(4, 5)
+
+    def test_no_duplicates_in_mix(self):
+        for mix in sample_mixes(4, 10):
+            assert len(set(mix)) == 4
+
+    def test_spans_families(self):
+        # A modest sample should cover several behaviour families.
+        names = {b.split(".")[0] for mix in sample_mixes(4, 6) for b in mix}
+        assert len(names) >= 5
+
+    def test_thread_count_respected(self):
+        for t in (1, 2, 8):
+            assert all(len(m) == t for m in sample_mixes(t, 4))

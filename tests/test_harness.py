@@ -1,0 +1,116 @@
+"""Unit tests for config factories, runners and report formatting."""
+
+import pytest
+
+from repro.harness import (
+    EVALUATED_CONFIGS,
+    RunScale,
+    base64_config,
+    base128_config,
+    clear_cache,
+    format_table,
+    get_scale,
+    mix_stp,
+    run_benchmark,
+    run_mix,
+    shelf_config,
+    single_thread_cpi,
+)
+from repro.harness.runner import SCALES, _CACHE
+
+
+class TestConfigs:
+    def test_base64_matches_table1(self):
+        cfg = base64_config(4)
+        assert cfg.rob_entries == 64
+        assert cfg.iq_entries == cfg.lq_entries == cfg.sq_entries == 32
+        assert cfg.shelf_entries == 0
+        assert cfg.fetch_width == 8 and cfg.dispatch_width == 4
+        assert cfg.fetch_to_dispatch == 6
+
+    def test_base128_doubles_everything(self):
+        cfg = base128_config(4)
+        assert cfg.rob_entries == 128
+        assert cfg.iq_entries == cfg.lq_entries == cfg.sq_entries == 64
+
+    def test_shelf_config(self):
+        cfg = shelf_config(4)
+        assert cfg.shelf_entries == 64
+        assert cfg.steering == "practical"
+        assert not cfg.shelf_same_cycle_issue
+        assert shelf_config(4, optimistic=True).shelf_same_cycle_issue
+
+    def test_evaluated_configs_cover_figure10(self):
+        assert set(EVALUATED_CONFIGS) == {"Base64", "Shelf64-cons",
+                                          "Shelf64-opt", "Base128"}
+        for factory in EVALUATED_CONFIGS.values():
+            assert factory(4).num_threads == 4
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert set(SCALES) == {"smoke", "default", "full"}
+        assert get_scale("smoke").instructions_per_thread < \
+            get_scale("full").instructions_per_thread
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "default"
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("enormous")
+
+
+class TestRunners:
+    def setup_method(self):
+        clear_cache()
+
+    def test_run_benchmark_caches(self):
+        cfg = base64_config(1)
+        a = run_benchmark(cfg, "ilp.int4", 400, 0)
+        before = len(_CACHE)
+        b = run_benchmark(cfg, "ilp.int4", 400, 0)
+        assert a is b
+        assert len(_CACHE) == before
+
+    def test_run_benchmark_forces_single_thread(self):
+        res = run_benchmark(base64_config(4), "ilp.int4", 300, 0)
+        assert len(res.threads) == 1
+
+    def test_run_mix_thread_count_checked(self):
+        with pytest.raises(ValueError):
+            run_mix(base64_config(4), ["ilp.int4"], 300, 0)
+
+    def test_single_thread_cpi_positive(self):
+        cpi = single_thread_cpi(base64_config(1), "serial.alu", 400, 0)
+        assert 0.1 < cpi < 100
+
+    def test_mix_stp_bounds(self):
+        mix = ("ilp.int4", "serial.alu", "branchy.easy", "gather.small")
+        val = mix_stp(base64_config(4), mix, 400, 0)
+        assert 0.0 < val <= 4.0
+
+    def test_clear_cache(self):
+        run_benchmark(base64_config(1), "ilp.int4", 300, 0)
+        assert _CACHE
+        clear_cache()
+        assert not _CACHE
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"],
+                            [("a", 1.23456), ("long-name", 2.0)],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text  # floats rendered at 3 decimals
+        header, sep = lines[1], lines[2]
+        assert len(header) == len(sep)
+
+    def test_handles_mixed_types(self):
+        text = format_table(["a"], [(None,), (7,), ("x",)])
+        assert "None" in text and "7" in text

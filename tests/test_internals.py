@@ -1,0 +1,161 @@
+"""Unit tests for smaller internals: DynInstr, ThreadContext, stats
+containers, and shelf/ROB retire-gate timing details."""
+
+import pytest
+
+from repro.core import CoreConfig, Pipeline
+from repro.core.dynamic import DynInstr, NEVER
+from repro.core.stats import EventCounts, SimResult, ThreadResult
+from repro.core.thread_context import ThreadContext
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.trace import Trace, generate
+
+
+def _instr(op=OpClass.INT_ALU, **kw):
+    base = dict(op=op, dest=1, srcs=(2,), pc=0x1000, next_pc=0x1004)
+    if op in (OpClass.LOAD, OpClass.STORE):
+        base["mem_addr"] = 0x100
+    if op is OpClass.STORE:
+        base["dest"] = None
+        base["srcs"] = (1, 2)
+    if op is OpClass.BRANCH:
+        base["dest"] = None
+        base["taken"] = True
+    base.update(kw)
+    return Instruction(**base)
+
+
+class TestDynInstr:
+    def test_initial_state(self):
+        d = DynInstr(0, 5, 7, _instr(), 1)
+        assert d.seq == 5 and d.gseq == 7
+        assert d.dispatch_cycle == NEVER
+        assert not d.issued and not d.completed and not d.retired
+        assert d.classified_in_sequence is None
+
+    def test_kind_properties(self):
+        assert DynInstr(0, 0, 0, _instr(OpClass.LOAD), 2).is_load
+        assert DynInstr(0, 0, 0, _instr(OpClass.STORE), 1).is_store
+        assert DynInstr(0, 0, 0, _instr(OpClass.BRANCH), 3).is_branch
+        assert DynInstr(0, 0, 0, _instr(OpClass.LOAD), 2).is_mem
+
+    def test_repr_reflects_state(self):
+        d = DynInstr(1, 3, 9, _instr(), 1)
+        assert "waiting" in repr(d)
+        d.issued = True
+        assert "issued" in repr(d)
+        d.to_shelf = True
+        assert "shelf" in repr(d)
+
+    def test_slots_reject_unknown_attributes(self):
+        d = DynInstr(0, 0, 0, _instr(), 1)
+        with pytest.raises(AttributeError):
+            d.scratchpad = 1
+
+
+class TestThreadContext:
+    def _ctx(self, shelf=16):
+        cfg = CoreConfig(num_threads=1, shelf_entries=shelf,
+                         steering="practical" if shelf else "iq-only")
+        return ThreadContext(0, generate("ilp.int8", 50, 0), cfg)
+
+    def test_initial_fetchability(self):
+        t = self._ctx()
+        assert t.fetchable(0)
+        t.fetch_blocked_until = 10
+        assert not t.fetchable(5)
+        assert t.fetchable(10)
+
+    def test_pending_branch_blocks_fetch(self):
+        t = self._ctx()
+        t.pending_branch = DynInstr(0, 0, 0, _instr(OpClass.BRANCH), 3)
+        assert not t.fetchable(0)
+
+    def test_rob_reservation_empty(self):
+        t = self._ctx()
+        assert t.rob_reservation() is None
+
+    def test_elder_spec_resolution_prunes(self):
+        t = self._ctx()
+        t.spec_inflight = [(1, 10), (3, 50), (9, 100)]
+        # idx 5 at cycle 20: entry (1,10) resolved, (3,50) elder & live.
+        assert t.elder_spec_resolution(5, 20) == 50
+        assert (1, 10) not in t.spec_inflight
+
+    def test_elder_spec_ignores_younger(self):
+        t = self._ctx()
+        t.spec_inflight = [(9, 100)]
+        assert t.elder_spec_resolution(5, 0) == 0
+
+    def test_finished_and_trace_done(self):
+        t = self._ctx()
+        assert not t.finished
+        t.retired = 50
+        assert t.finished
+
+
+class TestStatsContainers:
+    def test_event_counts_start_zero(self):
+        ev = EventCounts()
+        assert all(v == 0 for v in ev.as_dict().values())
+
+    def test_thread_result_inf_cpi(self):
+        t = ThreadResult(tid=0, benchmark="x", trace_length=10, retired=0,
+                         cpi=float("inf"), finish_cycle=None)
+        assert t.ipc == 0.0 or t.ipc == pytest.approx(0.0)
+
+    def test_sim_result_aggregates(self):
+        threads = [ThreadResult(tid=i, benchmark=f"b{i}", trace_length=10,
+                                retired=10, cpi=2.0, finish_cycle=20)
+                   for i in range(2)]
+        res = SimResult(config_label="t", cycles=40, threads=threads,
+                        events=EventCounts(), cache_stats={},
+                        steering_stats={}, occupancy={},
+                        bpred_accuracy=1.0)
+        assert res.total_retired == 20
+        assert res.ipc == pytest.approx(0.5)
+        assert res.cpi_of(1) == 2.0
+
+
+class TestRetireGateTiming:
+    def test_rob_waits_for_elder_shelf_writeback(self):
+        # Shelf instr (long latency) older than an instantly-complete IQ
+        # instr: the IQ instr must not retire first.
+        instrs = [
+            # shelf candidate: multiply chain dependent value
+            Instruction(op=OpClass.INT_MUL, dest=2, srcs=(2,), pc=0x1000,
+                        next_pc=0x1004),
+            Instruction(op=OpClass.INT_MUL, dest=2, srcs=(2,), pc=0x1004,
+                        next_pc=0x1008),
+            # independent IQ one-cycle op
+            Instruction(op=OpClass.INT_ALU, dest=5, srcs=(6,), pc=0x1008,
+                        next_pc=0x100C),
+        ]
+        cfg = CoreConfig(num_threads=1, shelf_entries=16,
+                         steering="practical")
+        pipe = Pipeline(cfg, [Trace("gate", instrs)],
+                        record_schedule=True)
+        pipe.run(stop="all")
+        retire = {r["seq"]: r["retire"] for r in pipe.instr_log}
+        shelf_flags = {r["seq"]: r["to_shelf"] for r in pipe.instr_log}
+        if shelf_flags.get(1) and not shelf_flags.get(2):
+            assert retire[2] >= retire[1]
+
+    def test_shelf_retire_out_of_order_wrt_rob(self):
+        # A completed shelf instruction younger than a stalled IQ miss
+        # retires before it (the paper's out-of-order shelf retirement).
+        instrs = [
+            Instruction(op=OpClass.LOAD, dest=9, srcs=(8,), pc=0x1000,
+                        next_pc=0x1004, mem_addr=0x40000),  # long miss
+            Instruction(op=OpClass.INT_ALU, dest=2, srcs=(2,), pc=0x1004,
+                        next_pc=0x1008),
+        ]
+        cfg = CoreConfig(num_threads=1, shelf_entries=16,
+                         steering="practical")
+        pipe = Pipeline(cfg, [Trace("ooo-retire", instrs)],
+                        record_schedule=True)
+        pipe.run(stop="all")
+        recs = {r["seq"]: r for r in pipe.instr_log}
+        if recs[1]["to_shelf"]:
+            assert recs[1]["retire"] < recs[0]["retire"]

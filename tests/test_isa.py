@@ -1,0 +1,139 @@
+"""Unit tests for the abstract ISA layer."""
+
+import pytest
+
+from repro.isa import (
+    DEFAULT_LATENCIES,
+    FunctionalUnitPool,
+    Instruction,
+    NUM_ARCH_REGS,
+    OpClass,
+    default_fu_pool,
+    is_memory,
+    is_speculative_source,
+)
+from repro.isa.opcodes import UNPIPELINED
+
+
+class TestOpClass:
+    def test_all_classes_have_latencies(self):
+        for op in OpClass:
+            assert op in DEFAULT_LATENCIES
+            assert DEFAULT_LATENCIES[op] >= 1
+
+    def test_load_minimum_two_cycle_use(self):
+        # Paper Section III-D: minimum 2-cycle load-to-use for L1 hits.
+        assert DEFAULT_LATENCIES[OpClass.LOAD] == 2
+
+    def test_divides_unpipelined(self):
+        assert OpClass.INT_DIV in UNPIPELINED
+        assert OpClass.FP_DIV in UNPIPELINED
+        assert OpClass.INT_ALU not in UNPIPELINED
+
+    def test_memory_predicate(self):
+        assert is_memory(OpClass.LOAD)
+        assert is_memory(OpClass.STORE)
+        assert not is_memory(OpClass.INT_ALU)
+        assert not is_memory(OpClass.BRANCH)
+
+    def test_speculative_sources(self):
+        assert is_speculative_source(OpClass.BRANCH)
+        assert is_speculative_source(OpClass.LOAD)
+        assert not is_speculative_source(OpClass.STORE)
+        assert not is_speculative_source(OpClass.FP_MUL)
+
+
+class TestFunctionalUnitPool:
+    def test_default_pool_groups(self):
+        pool = default_fu_pool()
+        assert pool.counts == {"int_alu": 4, "int_muldiv": 1, "fp": 2,
+                               "mem": 2}
+
+    def test_per_cycle_bandwidth(self):
+        pool = FunctionalUnitPool(counts={"int_alu": 2, "int_muldiv": 1,
+                                          "fp": 1, "mem": 1})
+        assert pool.available(OpClass.INT_ALU, 0)
+        pool.acquire(OpClass.INT_ALU, 0, 1)
+        assert pool.available(OpClass.INT_ALU, 0)
+        pool.acquire(OpClass.INT_ALU, 0, 1)
+        assert not pool.available(OpClass.INT_ALU, 0)
+        # Pipelined units free up the very next cycle.
+        assert pool.available(OpClass.INT_ALU, 1)
+
+    def test_unpipelined_divide_blocks_unit(self):
+        pool = FunctionalUnitPool(counts={"int_alu": 1, "int_muldiv": 1,
+                                          "fp": 1, "mem": 1})
+        pool.acquire(OpClass.INT_DIV, 0, 12)
+        assert not pool.available(OpClass.INT_MUL, 1)
+        assert not pool.available(OpClass.INT_DIV, 11)
+        assert pool.available(OpClass.INT_DIV, 12)
+
+    def test_branch_shares_alu_pool(self):
+        pool = FunctionalUnitPool(counts={"int_alu": 1, "int_muldiv": 1,
+                                          "fp": 1, "mem": 1})
+        pool.acquire(OpClass.BRANCH, 5, 1)
+        assert not pool.available(OpClass.INT_ALU, 5)
+
+    def test_acquire_without_available_raises(self):
+        pool = FunctionalUnitPool(counts={"int_alu": 1, "int_muldiv": 1,
+                                          "fp": 1, "mem": 1})
+        pool.acquire(OpClass.INT_DIV, 0, 12)
+        with pytest.raises(RuntimeError):
+            pool.acquire(OpClass.INT_DIV, 3, 12)
+
+    def test_reset_clears_busy(self):
+        pool = FunctionalUnitPool(counts={"int_alu": 1, "int_muldiv": 1,
+                                          "fp": 1, "mem": 1})
+        pool.acquire(OpClass.FP_DIV, 0, 16)
+        pool.reset()
+        assert pool.available(OpClass.FP_DIV, 0)
+
+
+class TestInstruction:
+    def _mk(self, **kw):
+        base = dict(op=OpClass.INT_ALU, dest=1, srcs=(2, 3), pc=0x1000,
+                    next_pc=0x1004)
+        base.update(kw)
+        return Instruction(**base)
+
+    def test_basic_alu(self):
+        ins = self._mk()
+        assert not ins.is_mem and not ins.is_branch
+        assert ins.dest == 1 and ins.srcs == (2, 3)
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            self._mk(dest=NUM_ARCH_REGS)
+        with pytest.raises(ValueError):
+            self._mk(srcs=(NUM_ARCH_REGS + 3,))
+
+    def test_load_requires_address(self):
+        with pytest.raises(ValueError):
+            self._mk(op=OpClass.LOAD)
+        ins = self._mk(op=OpClass.LOAD, mem_addr=0x2000)
+        assert ins.is_load and ins.is_mem
+
+    def test_store_requires_address_and_no_dest(self):
+        with pytest.raises(ValueError):
+            self._mk(op=OpClass.STORE, dest=None)
+        with pytest.raises(ValueError):
+            self._mk(op=OpClass.STORE, dest=4, mem_addr=0x2000)
+        ins = self._mk(op=OpClass.STORE, dest=None, mem_addr=0x2000)
+        assert ins.is_store
+
+    def test_branch_requires_outcome(self):
+        with pytest.raises(ValueError):
+            self._mk(op=OpClass.BRANCH, dest=None)
+        ins = self._mk(op=OpClass.BRANCH, dest=None, taken=True,
+                       next_pc=0x800)
+        assert ins.is_branch and ins.taken
+
+    def test_describe_is_readable(self):
+        ins = self._mk(op=OpClass.LOAD, mem_addr=0x2000)
+        text = ins.describe()
+        assert "LOAD" in text and "0x2000" in text
+
+    def test_frozen(self):
+        ins = self._mk()
+        with pytest.raises(AttributeError):
+            ins.dest = 5

@@ -1,0 +1,50 @@
+"""The timing litmus battery: the machine model's basic arithmetic."""
+
+import pytest
+
+from repro.analysis.litmus import (
+    LitmusReport,
+    alu_chain_throughput,
+    forwarding_latency,
+    issue_width_ceiling,
+    load_to_use_distance,
+    mispredict_penalty,
+    run_litmus,
+)
+from repro.core import CoreConfig
+
+
+class TestLitmusValues:
+    def test_alu_chain_is_one_cpi(self):
+        assert alu_chain_throughput() == pytest.approx(1.0, abs=0.05)
+
+    def test_load_to_use_is_two_cycles(self):
+        # Paper Section III-D: minimum 2-cycle load-to-use for L1 hits.
+        assert load_to_use_distance() == 2
+
+    def test_forwarding_matches_l1_hit(self):
+        assert forwarding_latency() == 2
+
+    def test_peak_ipc_is_issue_width(self):
+        assert issue_width_ceiling() == pytest.approx(4.0, abs=0.15)
+
+    def test_mispredict_penalty_is_resolution_plus_refill(self):
+        # branch latency (3) + fetch-to-dispatch (6) + handoff ~= 10.
+        penalty = mispredict_penalty()
+        assert 6.0 < penalty < 16.0
+
+    def test_shelf_does_not_change_fundamental_latencies(self):
+        cfg = CoreConfig(num_threads=1, shelf_entries=16,
+                         steering="practical")
+        assert load_to_use_distance(cfg) == 2
+        assert alu_chain_throughput(cfg) == pytest.approx(1.0, abs=0.05)
+
+    def test_narrow_core_has_lower_ceiling(self):
+        narrow = CoreConfig(num_threads=1, issue_width=2)
+        assert issue_width_ceiling(narrow) == pytest.approx(2.0, abs=0.1)
+
+    def test_report_aggregates_everything(self):
+        rep = run_litmus()
+        assert isinstance(rep, LitmusReport)
+        text = rep.format()
+        assert "load-to-use" in text and "peak IPC" in text

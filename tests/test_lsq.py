@@ -1,0 +1,224 @@
+"""Unit tests for load/store queues, forwarding and the store buffer."""
+
+import pytest
+
+from repro.core.dynamic import DynInstr
+from repro.core.lsq import LoadStoreQueues, StoreBuffer
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+
+
+def _mem(op, seq, gseq, addr, size=8, tid=0):
+    srcs = (1,) if op is OpClass.LOAD else (1, 2)
+    instr = Instruction(op=op, dest=3 if op is OpClass.LOAD else None,
+                        srcs=srcs, pc=0x1000 + 4 * seq, next_pc=0,
+                        mem_addr=addr, mem_size=size)
+    return DynInstr(tid, seq, gseq, instr, 2)
+
+
+def _load(seq, gseq, addr, **kw):
+    return _mem(OpClass.LOAD, seq, gseq, addr, **kw)
+
+
+def _store(seq, gseq, addr, **kw):
+    return _mem(OpClass.STORE, seq, gseq, addr, **kw)
+
+
+def make_lsq(lq=8, sq=8, buf=4):
+    return LoadStoreQueues(lq, sq, buf)
+
+
+class TestCapacity:
+    def test_lq_capacity(self):
+        q = make_lsq(lq=2)
+        q.dispatch_load(_load(0, 0, 0x100))
+        q.dispatch_load(_load(1, 1, 0x200))
+        assert not q.can_dispatch_load()
+        q.retire_load(q.lq[0])
+        assert q.can_dispatch_load()
+
+    def test_sq_capacity(self):
+        q = make_lsq(sq=1)
+        st = _store(0, 0, 0x100)
+        q.dispatch_store(st)
+        assert not q.can_dispatch_store()
+
+    def test_shelf_store_takes_no_entry(self):
+        q = make_lsq(sq=1)
+        q.dispatch_store(_store(0, 0, 0x100))
+        q.dispatch_shelf_store(_store(1, 1, 0x200))
+        assert q.sq_occupancy == 1
+        assert len(q.all_stores) == 2
+
+
+class TestForwarding:
+    def test_youngest_matching_elder_store_wins(self):
+        q = make_lsq()
+        s1 = _store(0, 0, 0x100)
+        s2 = _store(1, 1, 0x100)
+        s1.executed = s2.executed = True
+        q.dispatch_store(s1)
+        q.dispatch_store(s2)
+        ld = _load(2, 2, 0x100)
+        assert q.find_forwarding_store(ld) is s2
+
+    def test_unexecuted_store_not_forwarded(self):
+        q = make_lsq()
+        s = _store(0, 0, 0x100)
+        q.dispatch_store(s)
+        assert q.find_forwarding_store(_load(1, 1, 0x100)) is None
+
+    def test_younger_store_never_forwards(self):
+        q = make_lsq()
+        s = _store(5, 5, 0x100)
+        s.executed = True
+        q.dispatch_store(s)
+        assert q.find_forwarding_store(_load(1, 1, 0x100)) is None
+
+    def test_partial_overlap_detected(self):
+        q = make_lsq()
+        s = _store(0, 0, 0x104, size=8)
+        s.executed = True
+        q.dispatch_store(s)
+        assert q.find_forwarding_store(_load(1, 1, 0x100, size=8)) is s
+        assert q.find_forwarding_store(_load(2, 2, 0x10C, size=4)) is None
+
+    def test_shelf_load_forwards_from_younger_issued_load(self):
+        q = make_lsq()
+        young = _load(5, 5, 0x100)
+        young.issued = True
+        q.dispatch_load(young)
+        shelf_ld = _load(2, 2, 0x100)
+        assert q.find_forwarding_load(shelf_ld) is young
+
+    def test_unexecuted_elder_store_query(self):
+        q = make_lsq()
+        s = _store(0, 0, 0x100)
+        q.dispatch_store(s)
+        assert q.has_unexecuted_elder_store(5)
+        assert not q.has_unexecuted_elder_store(0)
+        s.executed = True
+        assert not q.has_unexecuted_elder_store(5)
+
+    def test_shelf_store_participates_in_elder_check(self):
+        q = make_lsq()
+        q.dispatch_shelf_store(_store(0, 0, 0x100))
+        assert q.has_unexecuted_elder_store(5)
+
+
+class TestViolations:
+    def test_early_load_caught(self):
+        q = make_lsq()
+        st = _store(0, 0, 0x100)
+        q.dispatch_store(st)
+        ld = _load(1, 1, 0x100)
+        ld.issued = True          # issued before the store executed
+        q.dispatch_load(ld)
+        st.executed = True
+        assert q.violation_load(st) is ld
+
+    def test_forwarded_load_is_safe(self):
+        q = make_lsq()
+        st = _store(0, 0, 0x100)
+        q.dispatch_store(st)
+        ld = _load(1, 1, 0x100)
+        ld.issued = True
+        ld.forwarded_from = st.gseq  # saw this store's value
+        q.dispatch_load(ld)
+        st.executed = True
+        assert q.violation_load(st) is None
+
+    def test_load_forwarded_from_older_store_still_violates(self):
+        q = make_lsq()
+        old_st = _store(0, 0, 0x100)
+        new_st = _store(1, 1, 0x100)
+        q.dispatch_store(old_st)
+        q.dispatch_store(new_st)
+        ld = _load(2, 2, 0x100)
+        ld.issued = True
+        ld.forwarded_from = old_st.gseq
+        q.dispatch_load(ld)
+        new_st.executed = True
+        assert q.violation_load(new_st) is ld
+
+    def test_unissued_load_is_safe(self):
+        q = make_lsq()
+        st = _store(0, 0, 0x100)
+        q.dispatch_store(st)
+        q.dispatch_load(_load(1, 1, 0x100))
+        st.executed = True
+        assert q.violation_load(st) is None
+
+    def test_eldest_violating_load_selected(self):
+        q = make_lsq()
+        st = _store(0, 0, 0x100)
+        q.dispatch_store(st)
+        for seq in (3, 1, 2):
+            ld = _load(seq, seq, 0x100)
+            ld.issued = True
+            q.dispatch_load(ld)
+        st.executed = True
+        assert q.violation_load(st).seq == 1
+
+    def test_disjoint_address_is_safe(self):
+        q = make_lsq()
+        st = _store(0, 0, 0x100)
+        q.dispatch_store(st)
+        ld = _load(1, 1, 0x900)
+        ld.issued = True
+        q.dispatch_load(ld)
+        st.executed = True
+        assert q.violation_load(st) is None
+
+
+class TestStoreBuffer:
+    def test_coalescing_same_line(self):
+        b = StoreBuffer(2)
+        b.insert(0x100)
+        b.insert(0x108)  # same 64B line
+        assert b.occupancy == 1
+        assert b.coalesced == 1
+
+    def test_capacity_and_can_accept(self):
+        b = StoreBuffer(1)
+        b.insert(0x100)
+        assert not b.can_accept(0x1000)
+        assert b.can_accept(0x108)  # coalesces
+
+    def test_drain_fifo_order(self):
+        b = StoreBuffer(4)
+        b.insert(0x100)
+        b.insert(0x200)
+        assert b.drain_one() == 0x100
+        assert b.drain_one() == 0x200
+        assert b.drain_one() is None
+
+    def test_undrain_keeps_head_position(self):
+        b = StoreBuffer(4)
+        b.insert(0x100)
+        b.insert(0x200)
+        addr = b.drain_one()
+        b.undrain(addr)
+        assert b.drain_one() == 0x100
+
+    def test_retire_store_moves_to_buffer(self):
+        q = make_lsq()
+        st = _store(0, 0, 0x100)
+        st.executed = True
+        q.dispatch_store(st)
+        q.retire_store(st)
+        assert q.sq_occupancy == 0
+        assert q.store_buffer.contains(0x100)
+        assert not q.all_stores
+
+
+class TestSquash:
+    def test_squash_from_drops_younger(self):
+        q = make_lsq()
+        q.dispatch_load(_load(1, 1, 0x100))
+        q.dispatch_load(_load(5, 5, 0x200))
+        q.dispatch_store(_store(3, 3, 0x300))
+        q.squash_from(3)
+        assert q.lq_occupancy == 1
+        assert q.sq_occupancy == 0
+        assert not q.all_stores

@@ -1,0 +1,133 @@
+"""Unit tests for performance metrics and classification analysis."""
+
+import math
+
+import pytest
+
+from repro.core.stats import EventCounts, SimResult, ThreadResult
+from repro.metrics import (
+    SeriesDistribution,
+    antt,
+    fairness,
+    geomean,
+    insequence_fraction,
+    per_thread_insequence,
+    series_lengths,
+    stp,
+    weighted_cdf,
+)
+
+
+def make_result(cpis, flags=None, benchmarks=None):
+    threads = []
+    for i, cpi in enumerate(cpis):
+        fl = bytearray(flags[i]) if flags else bytearray()
+        threads.append(ThreadResult(
+            tid=i, benchmark=benchmarks[i] if benchmarks else f"b{i}",
+            trace_length=len(fl), retired=len(fl), cpi=cpi,
+            finish_cycle=None, insequence_flags=fl))
+    return SimResult(config_label="test", cycles=100, threads=threads,
+                     events=EventCounts(), cache_stats={},
+                     steering_stats={}, occupancy={}, bpred_accuracy=1.0)
+
+
+class TestSTP:
+    def test_single_thread_self_reference_is_one(self):
+        res = make_result([2.0])
+        assert stp(res, [2.0]) == pytest.approx(1.0)
+
+    def test_sum_of_ratios(self):
+        res = make_result([2.0, 4.0])
+        # thread 0 runs at half its solo speed, thread 1 at full speed.
+        assert stp(res, [1.0, 4.0]) == pytest.approx(0.5 + 1.0)
+
+    def test_bounded_by_thread_count(self):
+        res = make_result([1.0, 1.0, 1.0, 1.0])
+        assert stp(res, [1.0] * 4) <= 4.0 + 1e-9
+
+    def test_starved_thread_contributes_zero(self):
+        res = make_result([float("inf"), 2.0])
+        assert stp(res, [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        res = make_result([1.0])
+        with pytest.raises(ValueError):
+            stp(res, [1.0, 2.0])
+
+
+class TestCompanionMetrics:
+    def test_antt_mean_slowdown(self):
+        res = make_result([2.0, 6.0])
+        assert antt(res, [1.0, 2.0]) == pytest.approx((2.0 + 3.0) / 2)
+
+    def test_fairness_perfect(self):
+        res = make_result([2.0, 4.0])
+        assert fairness(res, [2.0, 4.0]) == pytest.approx(1.0)
+
+    def test_fairness_imbalanced(self):
+        res = make_result([2.0, 8.0])
+        assert fairness(res, [2.0, 2.0]) == pytest.approx(0.25)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([2.0, 0.0]) == pytest.approx(2.0)  # ignores <= 0
+
+
+class TestClassification:
+    def test_fraction_ignores_unknown(self):
+        res = make_result([1.0], flags=[[1, 0, 2, 1]])
+        assert insequence_fraction(res) == pytest.approx(2 / 3)
+
+    def test_fraction_empty(self):
+        res = make_result([1.0], flags=[[2, 2]])
+        assert insequence_fraction(res) == 0.0
+
+    def test_per_thread(self):
+        res = make_result([1.0, 1.0], flags=[[1, 1], [0, 0]],
+                          benchmarks=["a", "b"])
+        assert per_thread_insequence(res) == [("a", 1.0), ("b", 0.0)]
+
+    def test_series_lengths(self):
+        res = make_result([1.0], flags=[[1, 1, 0, 0, 0, 1, 2]])
+        lens = series_lengths(res.threads[0])
+        assert lens["in_sequence"] == [2, 1]
+        assert lens["reordered"] == [3]
+
+    def test_series_lengths_empty(self):
+        res = make_result([1.0], flags=[[]])
+        lens = series_lengths(res.threads[0])
+        assert lens == {"in_sequence": [], "reordered": []}
+
+
+class TestSeriesDistribution:
+    def test_weighted_cdf_values(self):
+        # series lengths 1 and 3: of 4 instructions, 1 lives in a length-1
+        # series -> cdf(1) = 0.25, cdf(3) = 1.0.
+        d = SeriesDistribution([1, 3])
+        assert d.cdf_at(1) == pytest.approx(0.25)
+        assert d.cdf_at(2) == pytest.approx(0.25)
+        assert d.cdf_at(3) == pytest.approx(1.0)
+
+    def test_percentile(self):
+        d = SeriesDistribution([1] * 99 + [100])
+        assert d.percentile_length(0.49) == 1
+        assert d.percentile_length(0.999) == 100
+
+    def test_mean_weighted(self):
+        d = SeriesDistribution([1, 3])
+        # instruction-weighted mean: (1*1 + 3*3) / 4
+        assert d.mean_weighted() == pytest.approx(2.5)
+
+    def test_empty(self):
+        d = SeriesDistribution([])
+        assert d.cdf_at(10) == 0.0
+        assert d.percentile_length(0.99) == 0
+        assert d.mean_weighted() == 0.0
+
+    def test_pooling_across_results(self):
+        r1 = make_result([1.0], flags=[[1, 1, 0]])
+        r2 = make_result([1.0], flags=[[0, 1]])
+        dists = weighted_cdf([r1, r2])
+        assert sorted(dists["in_sequence"].lengths) == [1, 2]
+        assert sorted(dists["reordered"].lengths) == [1, 1]

@@ -1,0 +1,243 @@
+"""Integration tests for the baseline (no-shelf) pipeline."""
+
+import pytest
+
+from repro.core import CoreConfig, DeadlockError, Pipeline, simulate
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.trace import Trace, generate
+
+
+def alu(dest, srcs, pc):
+    return Instruction(op=OpClass.INT_ALU, dest=dest, srcs=srcs, pc=pc,
+                       next_pc=pc + 4)
+
+
+def load(dest, addr, pc, src=1):
+    return Instruction(op=OpClass.LOAD, dest=dest, srcs=(src,), pc=pc,
+                       next_pc=pc + 4, mem_addr=addr)
+
+
+def store(addr, pc, srcs=(1, 2)):
+    return Instruction(op=OpClass.STORE, dest=None, srcs=srcs, pc=pc,
+                       next_pc=pc + 4, mem_addr=addr)
+
+
+def cfg1(**kw):
+    kw.setdefault("num_threads", 1)
+    return CoreConfig(**kw)
+
+
+class TestBasicExecution:
+    def test_single_instruction(self):
+        tr = Trace("one", [alu(1, (2,), 0x1000)])
+        res = simulate(cfg1(), [tr], stop="all")
+        assert res.threads[0].retired == 1
+
+    def test_all_instructions_retire(self):
+        tr = generate("mixed.int", 800, 0)
+        pipe = Pipeline(cfg1(), [tr])
+        res = pipe.run(stop="all")
+        assert res.threads[0].retired == 800
+        pipe.check_final_invariants()
+
+    def test_determinism(self):
+        tr = generate("gather.large", 600, 0)
+        a = simulate(cfg1(), [tr], stop="all")
+        b = simulate(cfg1(), [tr], stop="all")
+        assert a.cycles == b.cycles
+        assert a.events.as_dict() == b.events.as_dict()
+
+    def test_dependent_chain_is_serialized(self):
+        # r2 <- r2 chain: one instruction per cycle at best.
+        instrs = [alu(2, (2,), 0x1000 + 4 * i) for i in range(50)]
+        res = simulate(cfg1(), [Trace("chain", instrs)], stop="all")
+        assert res.cycles >= 50
+
+    def test_independent_ops_run_wide(self):
+        # 4 independent chains should approach the 4-wide issue limit
+        # (long enough to amortize cold I-cache misses).
+        instrs = []
+        for i in range(4000):
+            reg = 2 + i % 4
+            instrs.append(alu(reg, (reg,), 0x1000 + 4 * (i % 64)))
+        res = simulate(cfg1(), [Trace("wide", instrs)], stop="all")
+        assert res.ipc > 2.0
+
+    def test_raw_dependence_respected(self):
+        # A load's consumer must wait the full load-to-use distance.
+        pipe = Pipeline(cfg1(), [Trace("raw", [
+            load(2, 0x100, 0x1000),
+            alu(3, (2,), 0x1004),
+        ])], record_schedule=True)
+        pipe.run(stop="all")
+        cycles = {seq: c for c, _, seq, _ in pipe.issue_log}
+        assert cycles[1] >= cycles[0] + 2  # cold miss makes it far larger
+
+    def test_issue_width_bounds_throughput(self):
+        instrs = [alu(2 + i % 8, (), 0x1000 + 4 * (i % 64))
+                  for i in range(800)]
+        res = simulate(cfg1(), [Trace("nodeps", instrs)], stop="all")
+        assert res.ipc <= 4.0 + 1e-9
+
+    def test_rob_partition_limits_window(self):
+        # With a ROB of 8, at most 8 IQ instructions can be in flight.
+        cfg = cfg1(rob_entries=8, iq_entries=8, lq_entries=8, sq_entries=8)
+        tr = generate("pchase.mem", 300, 0)
+        small = simulate(cfg, [tr], stop="all")
+        big = simulate(cfg1(), [tr], stop="all")
+        assert small.cycles >= big.cycles
+
+    def test_stop_first_vs_all(self):
+        traces = [generate("ilp.int4", 400, 0), generate("pchase.mem", 400, 1)]
+        cfg = CoreConfig(num_threads=2)
+        first = simulate(cfg, traces, stop="first")
+        assert any(t.retired == 400 for t in first.threads)
+        both = simulate(cfg, traces, stop="all")
+        assert all(t.retired == 400 for t in both.threads)
+        assert all(t.finish_cycle is not None for t in both.threads)
+
+    def test_bad_stop_mode_rejected(self):
+        tr = generate("ilp.int4", 10, 0)
+        with pytest.raises(ValueError):
+            simulate(cfg1(), [tr], stop="until-bored")
+
+    def test_trace_count_must_match_threads(self):
+        tr = generate("ilp.int4", 10, 0)
+        with pytest.raises(ValueError):
+            Pipeline(CoreConfig(num_threads=2), [tr])
+
+    def test_max_cycles_guard(self):
+        tr = generate("pchase.mem", 2000, 0)
+        with pytest.raises(DeadlockError):
+            simulate(cfg1(), [tr], stop="all", max_cycles=50)
+
+
+class TestBranchHandling:
+    def test_branchy_workload_completes(self):
+        tr = generate("branchy.hard", 1500, 0)
+        pipe = Pipeline(cfg1(), [tr])
+        res = pipe.run(stop="all")
+        assert res.threads[0].retired == 1500
+        assert res.events.branch_mispredicts > 0
+        pipe.check_final_invariants()
+
+    def test_mispredicts_cost_cycles(self):
+        easy = simulate(cfg1(), [generate("branchy.easy", 2000, 0)],
+                        stop="all")
+        hard = simulate(cfg1(), [generate("branchy.flip", 2000, 0)],
+                        stop="all")
+        assert hard.bpred_accuracy < easy.bpred_accuracy
+        assert hard.ipc < easy.ipc
+
+    def test_predictor_warms_up(self):
+        res = simulate(cfg1(), [generate("branchy.easy", 4000, 0)],
+                       stop="all")
+        assert res.bpred_accuracy > 0.85
+
+
+class TestMemorySystem:
+    def test_store_to_load_forwarding(self):
+        # An elder cold miss pins the ROB head so the executed store stays
+        # in the SQ; a short delay on the load's issue guarantees it sees
+        # the store's data and forwards instead of violating.
+        instrs = [
+            load(9, 0x40000, 0x1000),      # cold miss holds retirement
+            store(0x100, 0x1004),          # executes immediately
+            alu(7, (7,), 0x1008),
+            alu(7, (7,), 0x100C),
+            alu(7, (7,), 0x1010),
+            load(3, 0x100, 0x1014, src=7),  # issues after the store executed
+        ]
+        pipe = Pipeline(cfg1(), [Trace("fwd", instrs)])
+        res = pipe.run(stop="all")
+        assert res.events.forwards >= 1
+        assert res.events.violations == 0
+
+    def test_memory_violation_squash_and_replay(self):
+        # The store's data register hangs off a long-latency chain, so the
+        # younger load to the same address issues first -> violation.
+        instrs = []
+        pc = 0x1000
+        instrs.append(load(2, 0x40000, pc)); pc += 4          # cold miss
+        for _ in range(3):
+            instrs.append(alu(2, (2,), pc)); pc += 4
+        instrs.append(store(0x100, pc, srcs=(1, 2))); pc += 4  # waits on r2
+        instrs.append(load(4, 0x100, pc)); pc += 4             # races ahead
+        instrs.append(alu(5, (4,), pc)); pc += 4
+        pipe = Pipeline(cfg1(), [Trace("viol", instrs)])
+        res = pipe.run(stop="all")
+        assert res.events.violations >= 1
+        assert res.events.squashes >= 1
+        assert res.threads[0].retired == len(instrs)
+        pipe.check_final_invariants()
+
+    def test_store_sets_prevent_repeat_violations(self):
+        # Same conflict repeated: after training, later instances wait.
+        instrs = []
+        pc = 0x1000
+        for rep in range(30):
+            instrs.append(load(2, 0x40000 + rep * 64, 0x1000))
+            instrs.append(alu(2, (2,), 0x1004))
+            instrs.append(store(0x100, 0x1008, srcs=(1, 2)))
+            instrs.append(load(4, 0x100, 0x100C))
+        res = simulate(cfg1(), [Trace("trainable", instrs)], stop="all")
+        assert res.events.violations < 10  # far fewer than 30 conflicts
+
+    def test_mshr_pressure_does_not_deadlock(self):
+        from repro.memory.hierarchy import HierarchyConfig
+        cfg = cfg1(hierarchy=HierarchyConfig(l1d_mshrs=1, l2_mshrs=1))
+        tr = generate("stream.add", 800, 0)
+        res = simulate(cfg, [tr], stop="all")
+        assert res.threads[0].retired == 800
+
+
+class TestBarriers:
+    def test_barrier_synchronizes_dispatch(self):
+        instrs = [
+            load(2, 0x40000, 0x1000),   # long miss
+            Instruction(op=OpClass.BARRIER, dest=None, srcs=(), pc=0x1004,
+                        next_pc=0x1008),
+            alu(3, (), 0x1008),
+        ]
+        pipe = Pipeline(cfg1(), [Trace("bar", instrs)],
+                        record_schedule=True)
+        res = pipe.run(stop="all")
+        assert res.events.barriers == 1
+        cycles = {seq: c for c, _, seq, _ in pipe.issue_log}
+        # The post-barrier op cannot issue until the load retired.
+        assert cycles[2] > cycles[0] + 200
+
+
+class TestSMT:
+    def test_two_threads_progress(self):
+        traces = [generate("ilp.int4", 500, 0), generate("serial.alu", 500, 1)]
+        res = simulate(CoreConfig(num_threads=2), traces, stop="all")
+        assert all(t.retired == 500 for t in res.threads)
+
+    def test_four_threads_share_capacity(self):
+        traces = [generate(n, 400, i) for i, n in enumerate(
+            ["ilp.int4", "serial.alu", "branchy.easy", "gather.small"])]
+        pipe = Pipeline(CoreConfig(num_threads=4), traces)
+        res = pipe.run(stop="all")
+        assert all(t.retired == 400 for t in res.threads)
+        pipe.check_final_invariants()
+
+    def test_smt_throughput_beats_single_thread_sum_of_time(self):
+        # Running 2 memory-bound threads together should take less time
+        # than running them back to back (latency overlap).
+        tr0 = generate("pchase.mem", 300, 0)
+        tr1 = generate("pchase.mem", 300, 7)
+        solo0 = simulate(cfg1(), [tr0], stop="all").cycles
+        solo1 = simulate(cfg1(), [tr1], stop="all").cycles
+        duo = simulate(CoreConfig(num_threads=2), [tr0, tr1],
+                       stop="all").cycles
+        assert duo < solo0 + solo1
+
+    def test_icount_vs_round_robin_both_complete(self):
+        traces = [generate("pchase.mem", 300, 0),
+                  generate("ilp.int4", 300, 1)]
+        for policy in ("icount", "round-robin"):
+            res = simulate(CoreConfig(num_threads=2, fetch_policy=policy),
+                           traces, stop="all")
+            assert all(t.retired == 300 for t in res.threads)

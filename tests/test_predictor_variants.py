@@ -1,0 +1,91 @@
+"""Tests for the branch-predictor variants."""
+
+import random
+
+import pytest
+
+from repro.core import CoreConfig, simulate
+from repro.frontend import (
+    BimodalPredictor,
+    BranchPredictor,
+    LocalPredictor,
+    PredictorConfig,
+    TournamentPredictor,
+    make_predictor,
+)
+from repro.trace import generate
+
+
+def accuracy(bp, outcomes, pc=0x1000, target=0x800):
+    right = 0
+    for taken in outcomes:
+        if bp.predict(0, pc, taken, target):
+            right += 1
+        bp.update(0, pc, taken, target)
+    return right / len(outcomes)
+
+
+class TestFactory:
+    def test_all_names(self):
+        assert type(make_predictor("gshare", 1)) is BranchPredictor
+        assert isinstance(make_predictor("bimodal", 1), BimodalPredictor)
+        assert isinstance(make_predictor("local", 1), LocalPredictor)
+        assert isinstance(make_predictor("tournament", 1),
+                          TournamentPredictor)
+        with pytest.raises(ValueError):
+            make_predictor("neural", 1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_threads=1, branch_predictor="perceptron")
+
+
+class TestDirectionBehaviour:
+    def test_all_learn_strong_bias(self):
+        for name in ("gshare", "bimodal", "local", "tournament"):
+            bp = make_predictor(name, 1)
+            acc = accuracy(bp, [True] * 200)
+            assert acc > 0.95, name
+
+    def test_bimodal_cannot_learn_alternation(self):
+        bp = BimodalPredictor(1)
+        outcomes = [bool(i % 2) for i in range(400)]
+        assert accuracy(bp, outcomes) < 0.7
+
+    def test_local_learns_per_branch_pattern(self):
+        bp = LocalPredictor(1, PredictorConfig(table_bits=12))
+        outcomes = [bool(i % 3 == 0) for i in range(600)]
+        assert accuracy(bp, outcomes) > 0.9
+
+    def test_tournament_at_least_matches_bimodal_on_patterns(self):
+        outcomes = [bool(i % 2) for i in range(600)]
+        t_acc = accuracy(TournamentPredictor(1), list(outcomes))
+        b_acc = accuracy(BimodalPredictor(1), list(outcomes))
+        assert t_acc >= b_acc - 0.02
+
+    def test_tournament_chooser_adapts(self):
+        bp = TournamentPredictor(1)
+        # alternation: gshare side wins; the chooser should migrate there
+        outcomes = [bool(i % 2) for i in range(600)]
+        acc = accuracy(bp, outcomes)
+        assert acc > 0.8
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", ["bimodal", "local", "tournament"])
+    def test_variants_run_the_pipeline(self, name):
+        cfg = CoreConfig(num_threads=1, branch_predictor=name)
+        res = simulate(cfg, [generate("branchy.easy", 800, 0)], stop="all")
+        assert res.threads[0].retired == 800
+        assert res.bpred_accuracy > 0.7
+
+    def test_predictor_quality_shows_in_cycles(self):
+        tr = generate("branchy.hard", 2500, 0)
+        res = {}
+        for name in ("bimodal", "gshare", "tournament"):
+            cfg = CoreConfig(num_threads=1, branch_predictor=name)
+            res[name] = simulate(cfg, [tr], stop="all")
+        # the tournament never does materially worse than its components
+        assert res["tournament"].bpred_accuracy >= \
+            min(res["bimodal"].bpred_accuracy,
+                res["gshare"].bpred_accuracy) - 0.02

@@ -1,0 +1,122 @@
+"""Tests for the L1D prefetchers."""
+
+import pytest
+
+from repro.core import CoreConfig, simulate
+from repro.memory import HierarchyConfig, MemoryHierarchy
+from repro.memory.prefetch import (NextLinePrefetcher, StridePrefetcher,
+                                   make_prefetcher)
+from repro.trace import generate
+
+
+class TestNextLine:
+    def test_prefetches_successor(self):
+        p = NextLinePrefetcher()
+        assert p.on_miss(100) == [101]
+        assert p.on_hit(100) == []
+
+    def test_degree(self):
+        p = NextLinePrefetcher(degree=3)
+        assert p.on_miss(10) == [11, 12, 13]
+
+
+class TestStride:
+    def test_learns_unit_stride(self):
+        p = StridePrefetcher(degree=2, confirm=2)
+        assert p.on_miss(100) == []       # allocate
+        assert p.on_miss(101) == []       # stride guessed, conf 1
+        out = p.on_miss(102)              # confirmed
+        assert out == [103, 104]
+
+    def test_learns_negative_stride(self):
+        p = StridePrefetcher(degree=1, confirm=2)
+        p.on_miss(200)
+        p.on_miss(198)
+        assert p.on_miss(196) == [194]
+
+    def test_random_misses_never_confirm(self):
+        p = StridePrefetcher()
+        import random
+        rng = random.Random(1)
+        for _ in range(50):
+            assert p.on_miss(rng.randrange(1 << 20)) == []
+
+    def test_table_capacity_bounded(self):
+        p = StridePrefetcher(streams=2)
+        for i in range(10):
+            p.on_miss(i * 1000)
+        assert len(p._table) <= 2
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert make_prefetcher("none") is None
+        assert isinstance(make_prefetcher("next-line"), NextLinePrefetcher)
+        assert isinstance(make_prefetcher("stride"), StridePrefetcher)
+        with pytest.raises(ValueError):
+            make_prefetcher("oracle-prefetch")
+
+
+class TestHierarchyIntegration:
+    def test_sequential_stream_benefits(self):
+        base = MemoryHierarchy(HierarchyConfig())
+        pf = MemoryHierarchy(HierarchyConfig(l1d_prefetch="next-line"))
+        for h in (base, pf):
+            for i in range(256):
+                h.access_data(0x100000 + i * 64, False, i * 300)
+        assert pf.l1d.stats.misses < base.l1d.stats.misses
+        assert pf.prefetches_useful > 100
+
+    def test_useful_counter_requires_demand_touch(self):
+        pf = MemoryHierarchy(HierarchyConfig(l1d_prefetch="next-line"))
+        pf.access_data(0x100000, False, 0)
+        assert pf.prefetches_issued == 1
+        assert pf.prefetches_useful == 0
+        pf.access_data(0x100040, False, 300)  # the prefetched line
+        assert pf.prefetches_useful == 1
+
+    def test_stats_exposed(self):
+        pf = MemoryHierarchy(HierarchyConfig(l1d_prefetch="stride"))
+        pf.access_data(0x1000, False, 0)
+        s = pf.stats()
+        assert "prefetches_issued" in s and "prefetches_useful" in s
+
+    def test_reset_clears_prefetch_state(self):
+        pf = MemoryHierarchy(HierarchyConfig(l1d_prefetch="next-line"))
+        pf.access_data(0x1000, False, 0)
+        pf.reset()
+        assert pf.prefetches_issued == 0
+        assert not pf._prefetched_lines
+
+
+class TestEndToEnd:
+    def test_stream_workload_speeds_up(self):
+        tr = generate("stream.copy", 1500, 0)
+        base = simulate(CoreConfig(num_threads=1), [tr], stop="all")
+        pf = simulate(CoreConfig(
+            num_threads=1,
+            hierarchy=HierarchyConfig(l1d_prefetch="stride")),
+            [tr], stop="all")
+        assert pf.cycles < base.cycles
+        assert pf.cache_stats["prefetches_useful"] > 0
+
+    def test_pointer_chase_unaffected_by_stride_prefetch(self):
+        tr = generate("pchase.mem", 600, 0)
+        base = simulate(CoreConfig(num_threads=1), [tr], stop="all")
+        pf = simulate(CoreConfig(
+            num_threads=1,
+            hierarchy=HierarchyConfig(l1d_prefetch="stride")),
+            [tr], stop="all")
+        # random chase: no streams to learn, within a few percent.
+        assert abs(pf.cycles - base.cycles) < 0.05 * base.cycles
+
+    def test_prefetch_composes_with_shelf(self):
+        tr = generate("stream.add", 1000, 0)
+        cfg = CoreConfig(num_threads=1, shelf_entries=16,
+                         steering="practical",
+                         hierarchy=HierarchyConfig(l1d_prefetch="stride"))
+        from repro.core import Pipeline
+        pipe = Pipeline(cfg, [tr])
+        res = pipe.run(stop="all")
+        assert res.threads[0].retired == 1000
+        pipe.check_final_invariants()

@@ -1,0 +1,269 @@
+"""Property-based tests (hypothesis) on core data structures and
+end-to-end pipeline invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import CoreConfig, Pipeline
+from repro.core.dynamic import DynInstr
+from repro.core.issue_tracking import IssueTracker
+from repro.core.lsq import StoreBuffer
+from repro.core.scoreboard import Scoreboard
+from repro.core.shelf import ShelfPartition
+from repro.core.ssr import SpeculationShiftRegisters
+from repro.isa.instruction import NUM_ARCH_REGS, Instruction
+from repro.isa.opcodes import OpClass
+from repro.rename import FreeList, RegisterAliasTable
+from repro.trace import Trace
+
+# ---------------------------------------------------------------------------
+# structure-level properties
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=60))
+def test_issue_tracker_head_is_oldest_unissued(issue_pattern):
+    """Under any issue order, the head equals the smallest unissued index."""
+    t = IssueTracker()
+    ids = [t.allocate() for _ in issue_pattern]
+    unissued = set(ids)
+    for idx, do_issue in zip(list(ids), issue_pattern):
+        if do_issue:
+            t.mark_issued(idx)
+            unissued.discard(idx)
+        expected_head = min(unissued) if unissued else t.tail
+        assert t.head == expected_head
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                max_size=40))
+def test_ssr_never_negative_and_decays(updates):
+    ssr = SpeculationShiftRegisters()
+    for u in updates:
+        ssr.record_iq_speculation(u)
+        ssr.tick()
+        assert ssr.iq_ssr >= 0
+        assert ssr.shelf_ssr >= 0
+    for _ in range(31):
+        ssr.tick()
+    assert ssr.iq_ssr == 0
+
+
+@given(st.lists(st.sampled_from(["alloc", "issue", "retire"]), min_size=1,
+                max_size=200))
+def test_shelf_partition_pointer_invariants(ops):
+    """Random alloc/issue/retire sequences keep retire_ptr <= tail and
+    respect both capacity limits."""
+    shelf = ShelfPartition(4)
+    fifo_backlog = []       # allocated, unissued
+    issued_unretired = []   # issued, not yet retired (out of order ok)
+    seq = 0
+    for op in ops:
+        if op == "alloc" and shelf.can_dispatch(None):
+            d = DynInstr(0, seq, seq, Instruction(
+                op=OpClass.INT_ALU, dest=1, srcs=(), pc=0x1000,
+                next_pc=0x1004), 1)
+            seq += 1
+            shelf.allocate(d)
+            fifo_backlog.append(d)
+        elif op == "issue" and fifo_backlog:
+            d = shelf.pop_issued()
+            assert d is fifo_backlog.pop(0)  # strict FIFO order
+            issued_unretired.append(d)
+        elif op == "retire" and issued_unretired:
+            # retire an arbitrary (here: last) completed instruction
+            d = issued_unretired.pop()
+            shelf.mark_retired(d.shelf_idx)
+        assert shelf.retire_ptr <= shelf.tail
+        assert shelf.occupancy <= shelf.entries
+        assert shelf.live_indices <= shelf.index_space
+
+
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(0, NUM_ARCH_REGS - 1)),
+                min_size=1, max_size=64))
+def test_rat_squash_walkback_restores_everything(renames):
+    """Any interleaving of IQ/shelf renames, fully squashed youngest-first,
+    restores the initial mappings and leaks nothing."""
+    phys = FreeList(range(NUM_ARCH_REGS, NUM_ARCH_REGS + 64), name="phys")
+    ext = FreeList(range(1000, 1100), name="ext")
+    rat = RegisterAliasTable(1, phys, ext)
+    initial = [rat.lookup(0, a) for a in range(NUM_ARCH_REGS)]
+    recs = []
+    for to_shelf, dest in renames:
+        if to_shelf:
+            if not ext.can_allocate():
+                continue
+            recs.append(rat.rename_shelf(0, dest, ()))
+        else:
+            if not phys.can_allocate():
+                continue
+            recs.append(rat.rename_iq(0, dest, ()))
+    for rec in reversed(recs):
+        rat.squash(0, rec)
+    assert [rat.lookup(0, a) for a in range(NUM_ARCH_REGS)] == initial
+    assert phys.free_count == 64
+    assert ext.free_count == 100
+
+
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(0, NUM_ARCH_REGS - 1)),
+                min_size=1, max_size=64))
+def test_rat_retire_in_order_conserves_identifiers(renames):
+    """Retiring every rename in program order returns exactly the dead
+    identifiers: live PRIs afterwards == architectural register count."""
+    phys = FreeList(range(NUM_ARCH_REGS, NUM_ARCH_REGS + 64), name="phys")
+    ext = FreeList(range(1000, 1100), name="ext")
+    rat = RegisterAliasTable(1, phys, ext)
+    recs = []
+    for to_shelf, dest in renames:
+        if to_shelf:
+            if not ext.can_allocate():
+                continue
+            recs.append(rat.rename_shelf(0, dest, ()))
+        else:
+            if not phys.can_allocate():
+                continue
+            recs.append(rat.rename_iq(0, dest, ()))
+    for rec in recs:
+        rat.retire(0, rec)
+    # After full in-order retirement, the only live physical registers are
+    # the current architectural mappings (one per register); note that
+    # initial registers released by later writers re-enter the free pool.
+    assert phys.free_count == phys.capacity - NUM_ARCH_REGS
+    # extension tags may stay live only for current shelf-made mappings
+    ext_live = sum(1 for a in range(NUM_ARCH_REGS)
+                   if rat.lookup(0, a)[1] != rat.lookup(0, a)[0])
+    assert ext.free_count == 100 - ext_live
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=100))
+def test_scoreboard_monotone_queries(cycles):
+    sb = Scoreboard(4)
+    sb.set_ready(0, 50)
+    for c in sorted(cycles):
+        assert sb.is_ready(0, c) == (c >= 50)
+
+
+@given(st.lists(st.integers(0, 0x4000), min_size=1, max_size=60))
+def test_store_buffer_never_overflows(addrs):
+    buf = StoreBuffer(4)
+    for a in addrs:
+        if buf.can_accept(a):
+            buf.insert(a)
+        assert buf.occupancy <= 4
+    # drain completely
+    while buf.drain_one() is not None:
+        pass
+    assert buf.occupancy == 0
+
+
+# ---------------------------------------------------------------------------
+# end-to-end pipeline properties on random programs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_program(draw, max_len=120):
+    """A random, architecturally valid instruction stream."""
+    n = draw(st.integers(min_value=5, max_value=max_len))
+    instrs = []
+    pc = 0x1000
+    for i in range(n):
+        kind = draw(st.sampled_from(
+            ["alu", "alu", "alu", "mul", "load", "store", "branch"]))
+        dest = draw(st.integers(2, 15))
+        src1 = draw(st.integers(0, 15))
+        src2 = draw(st.integers(0, 15))
+        addr = draw(st.integers(0, 255)) * 8
+        if kind == "alu":
+            instrs.append(Instruction(op=OpClass.INT_ALU, dest=dest,
+                                      srcs=(src1, src2), pc=pc,
+                                      next_pc=pc + 4))
+        elif kind == "mul":
+            instrs.append(Instruction(op=OpClass.INT_MUL, dest=dest,
+                                      srcs=(src1,), pc=pc, next_pc=pc + 4))
+        elif kind == "load":
+            instrs.append(Instruction(op=OpClass.LOAD, dest=dest,
+                                      srcs=(src1,), pc=pc, next_pc=pc + 4,
+                                      mem_addr=addr))
+        elif kind == "store":
+            instrs.append(Instruction(op=OpClass.STORE, dest=None,
+                                      srcs=(src1, src2), pc=pc,
+                                      next_pc=pc + 4, mem_addr=addr))
+        else:
+            taken = draw(st.booleans())
+            instrs.append(Instruction(op=OpClass.BRANCH, dest=None,
+                                      srcs=(src1,), pc=pc,
+                                      next_pc=pc + 8 if taken else pc + 4,
+                                      taken=taken))
+        pc += 4
+    return Trace("random", instrs)
+
+
+_pipeline_settings = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+@_pipeline_settings
+@given(random_program(), st.sampled_from(["iq-only", "shelf-only",
+                                          "practical", "oracle"]))
+def test_random_programs_retire_completely(trace, steering):
+    """Any program under any steering policy retires every instruction
+    exactly once and leaks no identifiers."""
+    shelf = 0 if steering == "iq-only" else 16
+    cfg = CoreConfig(num_threads=1, shelf_entries=shelf, steering=steering)
+    pipe = Pipeline(cfg, [trace])
+    res = pipe.run(stop="all")
+    assert res.threads[0].retired == len(trace)
+    pipe.check_final_invariants()
+
+
+@_pipeline_settings
+@given(random_program())
+def test_shelf_only_issues_in_program_order(trace):
+    """The shelf's defining invariant on arbitrary programs."""
+    cfg = CoreConfig(num_threads=1, shelf_entries=16, steering="shelf-only")
+    pipe = Pipeline(cfg, [trace], record_schedule=True)
+    pipe.run(stop="all")
+    shelf_seqs = [seq for _c, _t, seq, sh in pipe.issue_log if sh]
+    assert shelf_seqs == sorted(shelf_seqs)
+
+
+@_pipeline_settings
+@given(random_program())
+def test_raw_dependences_respected_everywhere(trace):
+    """No instruction issues before its producers' values are available."""
+    cfg = CoreConfig(num_threads=1, shelf_entries=16, steering="practical")
+    pipe = Pipeline(cfg, [trace], record_schedule=True)
+    pipe.run(stop="all")
+    issue_cycle = {}
+    complete = {}
+    for cyc, _tid, seq, _sh in pipe.issue_log:
+        issue_cycle[seq] = cyc
+    # reconstruct per-register last writer in program order
+    last_writer = {}
+    for seq, ins in enumerate(trace):
+        if seq in issue_cycle:
+            for s in ins.srcs:
+                if s in last_writer:
+                    w = last_writer[s]
+                    lat = 1 if trace[w].op is not OpClass.INT_MUL else 3
+                    if trace[w].op is OpClass.LOAD:
+                        lat = 2  # L1 floor; misses only push it later
+                    assert issue_cycle[seq] >= issue_cycle[w] + 1 or \
+                        issue_cycle[seq] >= issue_cycle[w] + lat - 1
+        if ins.dest is not None:
+            last_writer[ins.dest] = seq
+
+
+@_pipeline_settings
+@given(random_program())
+def test_determinism_on_random_programs(trace):
+    cfg = CoreConfig(num_threads=1, shelf_entries=16, steering="practical")
+    a = Pipeline(cfg, [trace]).run(stop="all")
+    b = Pipeline(cfg, [trace]).run(stop="all")
+    assert a.cycles == b.cycles
+    assert a.events.as_dict() == b.events.as_dict()

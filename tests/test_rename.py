@@ -1,0 +1,167 @@
+"""Unit tests for free lists and the tag/PRI-separated RAT."""
+
+import pytest
+
+from repro.isa.instruction import NUM_ARCH_REGS
+from repro.rename import FreeList, RegisterAliasTable
+
+
+def make_rat(threads=1, phys_extra=16, ext=8):
+    phys = FreeList(range(NUM_ARCH_REGS * threads,
+                          NUM_ARCH_REGS * threads + phys_extra), name="phys")
+    ext_fl = FreeList(range(1000, 1000 + ext), name="ext")
+    rat = RegisterAliasTable(threads, phys, ext_fl)
+    return rat, phys, ext_fl
+
+
+class TestFreeList:
+    def test_allocate_release_cycle(self):
+        fl = FreeList(range(4), name="t")
+        ids = [fl.allocate() for _ in range(4)]
+        assert sorted(ids) == [0, 1, 2, 3]
+        assert not fl.can_allocate()
+        fl.release(2)
+        assert fl.allocate() == 2
+
+    def test_double_free_rejected(self):
+        fl = FreeList(range(2), name="t")
+        a = fl.allocate()
+        fl.release(a)
+        with pytest.raises(RuntimeError):
+            fl.release(a)
+
+    def test_foreign_id_rejected(self):
+        fl = FreeList(range(2), name="t")
+        with pytest.raises(RuntimeError):
+            fl.release(99)
+
+    def test_allocate_empty_raises(self):
+        fl = FreeList([], name="t")
+        with pytest.raises(RuntimeError):
+            fl.allocate()
+
+    def test_min_free_watermark(self):
+        fl = FreeList(range(3), name="t")
+        fl.allocate()
+        fl.allocate()
+        assert fl.min_free == 1
+
+    def test_retain_marks_in_use(self):
+        fl = FreeList(range(5, 8), name="t")
+        fl.retain(99)
+        fl.release(99)
+        assert 99 in fl
+
+
+class TestRATIQPath:
+    def test_initial_identity_mapping(self):
+        rat, _, _ = make_rat()
+        assert rat.lookup(0, 5) == (5, 5)
+
+    def test_iq_rename_allocates_fresh_pri_tag_equal(self):
+        rat, phys, _ = make_rat()
+        rec = rat.rename_iq(0, dest=3, srcs=(1, 2))
+        assert rec.pri == rec.tag  # original tag space
+        assert rec.pri >= NUM_ARCH_REGS
+        assert rat.lookup(0, 3) == (rec.pri, rec.pri)
+        assert rec.prev_pri == 3 and rec.prev_tag == 3
+
+    def test_sources_translated_through_current_mapping(self):
+        rat, _, _ = make_rat()
+        r1 = rat.rename_iq(0, dest=1, srcs=())
+        rec = rat.rename_iq(0, dest=2, srcs=(1,))
+        assert rec.src_tags == (r1.tag,)
+        assert rec.src_pris == (r1.pri,)
+
+    def test_no_dest_allocates_nothing(self):
+        rat, phys, _ = make_rat()
+        before = phys.free_count
+        rec = rat.rename_iq(0, dest=None, srcs=(1,))
+        assert rec.pri is None
+        assert phys.free_count == before
+
+    def test_iq_retire_frees_previous_pri(self):
+        rat, phys, _ = make_rat()
+        rec = rat.rename_iq(0, dest=3, srcs=())
+        before = phys.free_count
+        rat.retire(0, rec)
+        assert phys.free_count == before + 1
+
+    def test_iq_squash_restores_mapping_and_frees_new(self):
+        rat, phys, _ = make_rat()
+        rec = rat.rename_iq(0, dest=3, srcs=())
+        rat.squash(0, rec)
+        assert rat.lookup(0, 3) == (3, 3)
+        assert rec.pri in phys
+
+
+class TestRATShelfPath:
+    def test_shelf_keeps_pri_allocates_ext_tag(self):
+        rat, phys, ext = make_rat()
+        before = phys.free_count
+        rec = rat.rename_shelf(0, dest=3, srcs=(1,))
+        assert rec.pri == 3            # reuses the existing register
+        assert rec.tag >= 1000         # extension tag space
+        assert phys.free_count == before
+        assert rat.lookup(0, 3) == (3, rec.tag)
+
+    def test_shelf_retire_frees_previous_ext_tag_only(self):
+        rat, _, ext = make_rat()
+        first = rat.rename_shelf(0, dest=3, srcs=())
+        second = rat.rename_shelf(0, dest=3, srcs=())
+        assert second.prev_tag == first.tag
+        before = ext.free_count
+        rat.retire(0, second)  # frees first's ext tag
+        assert ext.free_count == before + 1
+
+    def test_shelf_retire_with_phys_prev_tag_frees_nothing(self):
+        rat, phys, ext = make_rat()
+        rec = rat.rename_shelf(0, dest=3, srcs=())  # prev tag == PRI == 3
+        pb, eb = phys.free_count, ext.free_count
+        rat.retire(0, rec)
+        assert (phys.free_count, ext.free_count) == (pb, eb)
+
+    def test_shelf_squash_restores_and_frees_own_tag(self):
+        rat, _, ext = make_rat()
+        rec = rat.rename_shelf(0, dest=3, srcs=())
+        before = ext.free_count
+        rat.squash(0, rec)
+        assert ext.free_count == before + 1
+        assert rat.lookup(0, 3) == (3, 3)
+
+    def test_iq_after_shelf_retires_ext_tag(self):
+        # Figure 6 life cycle: IQ write, shelf overwrites, next IQ rename
+        # retires both the old PRI and the shelf's extension tag.
+        rat, phys, ext = make_rat()
+        shelf_rec = rat.rename_shelf(0, dest=3, srcs=())
+        iq_rec = rat.rename_iq(0, dest=3, srcs=())
+        assert iq_rec.prev_pri == 3
+        assert iq_rec.prev_tag == shelf_rec.tag
+        pb, eb = phys.free_count, ext.free_count
+        rat.retire(0, iq_rec)
+        assert phys.free_count == pb + 1
+        assert ext.free_count == eb + 1
+
+    def test_interleaved_squash_walkback(self):
+        # Undo must restore youngest-to-oldest across mixed paths.
+        rat, phys, ext = make_rat()
+        recs = [
+            rat.rename_iq(0, dest=4, srcs=()),
+            rat.rename_shelf(0, dest=4, srcs=()),
+            rat.rename_shelf(0, dest=4, srcs=()),
+            rat.rename_iq(0, dest=4, srcs=()),
+        ]
+        for rec in reversed(recs):
+            rat.squash(0, rec)
+        assert rat.lookup(0, 4) == (4, 4)
+        assert phys.free_count == phys.capacity - NUM_ARCH_REGS
+        assert ext.free_count == ext.capacity
+
+    def test_threads_have_independent_namespaces(self):
+        rat, _, _ = make_rat(threads=2)
+        rat.rename_iq(0, dest=3, srcs=())
+        assert rat.lookup(1, 3) == (NUM_ARCH_REGS + 3, NUM_ARCH_REGS + 3)
+
+    def test_live_mappings_counts_distinct_pris(self):
+        rat, _, _ = make_rat(threads=2)
+        assert rat.live_mappings() == 2 * NUM_ARCH_REGS

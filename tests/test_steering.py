@@ -1,0 +1,236 @@
+"""Unit tests for the steering policies (paper Section IV)."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.dynamic import DynInstr
+from repro.core.steering import (
+    ComparisonSteering,
+    IQOnlySteering,
+    OracleSteering,
+    PracticalSteering,
+    ShelfOnlySteering,
+    make_steering,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def alu(dest=1, srcs=(2,), pc=0x1000):
+    return Instruction(op=OpClass.INT_ALU, dest=dest, srcs=srcs, pc=pc,
+                       next_pc=pc + 4)
+
+
+def load(dest=1, src=2, addr=0x100, pc=0x1000):
+    return Instruction(op=OpClass.LOAD, dest=dest, srcs=(src,), pc=pc,
+                       next_pc=pc + 4, mem_addr=addr)
+
+
+def dyn_of(instr, tid=0, seq=0, gseq=0):
+    return DynInstr(tid, seq, gseq, instr, 2)
+
+
+def practical(threads=1):
+    return PracticalSteering(CoreConfig(num_threads=threads,
+                                        shelf_entries=16 * threads,
+                                        steering="practical"))
+
+
+class TestTrivialPolicies:
+    def test_iq_only(self):
+        p = IQOnlySteering()
+        assert p.decide(0, alu(), 0) is False
+
+    def test_shelf_only(self):
+        p = ShelfOnlySteering()
+        assert p.decide(0, alu(), 0) is True
+
+    def test_factory(self):
+        h = MemoryHierarchy()
+        for name, cls in (("iq-only", IQOnlySteering),
+                          ("shelf-only", ShelfOnlySteering),
+                          ("practical", PracticalSteering),
+                          ("oracle", OracleSteering)):
+            cfg = CoreConfig(num_threads=1,
+                             shelf_entries=0 if name == "iq-only" else 16,
+                             steering=name)
+            assert isinstance(make_steering(cfg, h), cls)
+
+
+class TestPracticalSteering:
+    def test_ready_operands_tie_to_shelf(self):
+        # Fresh state: everything predicted ready -> tie -> shelf (the
+        # paper breaks ties in favor of the shelf).
+        p = practical()
+        assert p.decide(0, alu(), 0) is True
+
+    def test_independent_work_goes_iq_after_long_predicted_stall(self):
+        p = practical()
+        # A divide chain raises the in-order floor well above zero...
+        div = Instruction(op=OpClass.FP_DIV, dest=3, srcs=(3,), pc=0x1000,
+                          next_pc=0x1004)
+        p.decide(0, div, 0)
+        p.decide(0, Instruction(op=OpClass.FP_DIV, dest=3, srcs=(3,),
+                                pc=0x1004, next_pc=0x1008), 0)
+        # ...so independent ready work is predicted to issue earlier from
+        # the IQ and steers there.
+        assert p.decide(0, alu(dest=5, srcs=(6,)), 0) is False
+
+    def test_dependent_of_chain_steers_to_shelf(self):
+        p = practical()
+        div = Instruction(op=OpClass.FP_DIV, dest=3, srcs=(3,), pc=0x1000,
+                          next_pc=0x1004)
+        p.decide(0, div, 0)
+        # Consumer of the divide: last-arriving operand dominates -> shelf.
+        assert p.decide(0, alu(dest=4, srcs=(3,)), 0) is True
+
+    def test_rct_counts_down(self):
+        p = practical()
+        mul = Instruction(op=OpClass.INT_MUL, dest=3, srcs=(), pc=0x1000,
+                          next_pc=0x1004)
+        p.decide(0, mul, 0)
+        before = int(p._rct[0][3])
+        p.tick(1)
+        assert int(p._rct[0][3]) == before - 1
+
+    def test_rct_saturates_at_cap(self):
+        p = practical()
+        for i in range(12):
+            p.decide(0, Instruction(op=OpClass.FP_DIV, dest=3, srcs=(3,),
+                                    pc=0x1000 + 4 * i, next_pc=0), 0)
+        assert int(p._rct[0][3]) <= p.cap
+
+    def test_plt_column_assignment_and_release(self):
+        p = practical()
+        ld = load(dest=3)
+        p.decide(0, ld, 0)
+        d = dyn_of(ld)
+        p.note_dispatched(d, 0)
+        assert int(p._plt[0][3]) != 0
+        d.completed = True
+        p.tick(1)
+        assert int(p._plt[0][3]) == 0
+        assert p._cols[0][0] is None
+
+    def test_plt_tracks_at_most_n_loads(self):
+        p = practical()
+        dyns = []
+        for i in range(6):
+            ld = load(dest=3 + i, pc=0x1000 + 4 * i)
+            p.decide(0, ld, 0)
+            d = dyn_of(ld, seq=i, gseq=i)
+            p.note_dispatched(d, 0)
+            dyns.append(d)
+        assigned = sum(1 for c in p._cols[0] if c is not None)
+        assert assigned == p.num_cols == 4
+
+    def test_late_load_freezes_dependent_rows(self):
+        p = practical()
+        ld = load(dest=3)
+        p.decide(0, ld, 0)
+        d = dyn_of(ld)
+        p.note_dispatched(d, 0)
+        p.decide(0, alu(dest=4, srcs=(3,)), 0)  # dependent row inherits col
+        # Let the predicted completion pass without the load completing.
+        for c in range(1, 10):
+            p.tick(c)
+        assert p._late_mask[0] != 0
+        frozen = int(p._rct[0][4])
+        p.tick(10)
+        assert int(p._rct[0][4]) == frozen  # decrement stalled
+
+    def test_late_dependent_steers_to_shelf_not_loads(self):
+        p = practical()
+        ld = load(dest=3)
+        p.decide(0, ld, 0)
+        p.note_dispatched(dyn_of(ld), 0)
+        for c in range(1, 10):
+            p.tick(c)
+        assert p._late_mask[0] != 0
+        # ALU consumer of the late load: in-sequence -> shelf.
+        assert p.decide(0, alu(dest=4, srcs=(3,)), 20) is True
+        # A *load* consuming the late value is a dependent chase from some
+        # chain: it stays in the IQ to preserve MLP across chains.
+        assert p.decide(0, load(dest=5, src=3, pc=0x2000), 20) is False
+
+    def test_threads_do_not_interfere(self):
+        p = practical(threads=2)
+        div = Instruction(op=OpClass.FP_DIV, dest=3, srcs=(3,), pc=0x1000,
+                          next_pc=0x1004)
+        p.decide(0, div, 0)
+        assert int(p._rct[0][3]) > 0
+        assert int(p._rct[1][3]) == 0
+
+    def test_stats(self):
+        p = practical()
+        p.decide(0, alu(), 0)
+        s = p.stats()
+        assert s["steered_shelf"] + s["steered_iq"] == 1
+        assert 0.0 <= s["shelf_fraction"] <= 1.0
+
+
+class TestOracleSteering:
+    def _oracle(self):
+        cfg = CoreConfig(num_threads=1, shelf_entries=16, steering="oracle")
+        return OracleSteering(cfg, MemoryHierarchy()), cfg
+
+    def test_uses_functional_cache_probe(self):
+        o, _ = self._oracle()
+        # Cold load: exact (miss) latency; the probe must not disturb the
+        # cache (still cold afterwards).
+        assert o._latency(load()) > 100
+        assert o._latency(load()) > 100
+
+    def test_in_sequence_definition(self):
+        o, _ = self._oracle()
+        # First instruction: trivially in order -> shelf (tie).
+        assert o.decide(0, alu(dest=3, srcs=()), 0) is True
+        # A divide *chain*: the second divide's issue waits for the first,
+        # raising the in-order floor, so independent ready work would
+        # issue earlier from the IQ.
+        o.decide(0, Instruction(op=OpClass.FP_DIV, dest=4, srcs=(4,),
+                                pc=0x1000, next_pc=0x1004), 0)
+        o.decide(0, Instruction(op=OpClass.FP_DIV, dest=4, srcs=(4,),
+                                pc=0x1004, next_pc=0x1008), 0)
+        assert o.decide(0, alu(dest=5, srcs=()), 0) is False
+        # But the divide's consumer issues no earlier anywhere -> shelf.
+        assert o.decide(0, alu(dest=6, srcs=(4,)), 0) is True
+
+    def test_corrections_track_actual_schedule(self):
+        o, _ = self._oracle()
+        ins = alu(dest=3, srcs=())
+        o.decide(0, ins, 0)
+        d = dyn_of(ins)
+        d.rename = type("R", (), {"arch": 3})()
+        o.on_complete(d, 500)
+        assert o._ready[0][3] == 500
+
+    def test_on_issue_raises_inorder_floor(self):
+        o, _ = self._oracle()
+        d = dyn_of(alu())
+        o.on_issue(d, 300)
+        assert o._earliest_issue[0] == 300
+
+
+class TestComparisonSteering:
+    def test_counts_disagreements(self):
+        c = ComparisonSteering(IQOnlySteering(), ShelfOnlySteering())
+        for i in range(10):
+            assert c.decide(0, alu(pc=0x1000 + 4 * i), i) is False
+        assert c.disagreements == 10
+        assert c.stats()["missteer_fraction"] == 1.0
+
+    def test_agreement(self):
+        c = ComparisonSteering(IQOnlySteering(), IQOnlySteering())
+        c.decide(0, alu(), 0)
+        assert c.stats()["missteer_fraction"] == 0.0
+
+    def test_forwards_hooks(self):
+        p = practical()
+        c = ComparisonSteering(p, IQOnlySteering())
+        ld = load(dest=3)
+        c.decide(0, ld, 0)
+        c.note_dispatched(dyn_of(ld), 0)
+        assert p._cols[0][0] is not None
+        c.tick(1)  # must not raise

@@ -1,0 +1,181 @@
+"""Unit tests for the steering extensions (coarse-grain, adaptive) and
+the TSO memory-model support."""
+
+import pytest
+
+from repro.core import CoreConfig, Pipeline, simulate
+from repro.core.lsq import LoadStoreQueues, StoreBuffer
+from repro.core.steering import (IQOnlySteering, PracticalSteering,
+                                 ShelfOnlySteering)
+from repro.core.steering_ext import AdaptiveSteering, CoarseGrainSteering
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.trace import generate
+from tests.test_lsq import _load, _store
+
+
+def alu(pc=0x1000):
+    return Instruction(op=OpClass.INT_ALU, dest=1, srcs=(2,), pc=pc,
+                       next_pc=pc + 4)
+
+
+class TestCoarseGrainSteering:
+    def test_granularity_one_equals_base(self):
+        base = ShelfOnlySteering()
+        c = CoarseGrainSteering(base, 1, granularity=1)
+        assert all(c.decide(0, alu(), i) for i in range(10))
+
+    def test_blocks_apply_previous_majority(self):
+        # Base alternates shelf/IQ; with granularity 4 the block majority
+        # (2/4 -> shelf on ties) applies to the *next* block wholesale.
+        class Alternating:
+            name = "alt"
+            def __init__(self):
+                self.n = 0
+            def decide(self, tid, instr, cycle):
+                self.n += 1
+                return self.n % 2 == 0
+            def tick(self, c): ...
+            def note_dispatched(self, d, c): ...
+            def on_issue(self, d, c): ...
+            def on_complete(self, d, c): ...
+            def stats(self):
+                return {}
+
+        c = CoarseGrainSteering(Alternating(), 1, granularity=4)
+        first_block = [c.decide(0, alu(), i) for i in range(4)]
+        assert first_block == [False] * 4  # initial mode: IQ
+        second_block = [c.decide(0, alu(), i) for i in range(4)]
+        assert second_block == [True] * 4  # 2/4 shelf votes -> shelf mode
+
+    def test_threads_have_independent_modes(self):
+        c = CoarseGrainSteering(ShelfOnlySteering(), 2, granularity=2)
+        c.decide(0, alu(), 0)
+        c.decide(0, alu(), 0)  # thread 0 block complete -> shelf mode
+        assert c.decide(0, alu(), 1) is True
+        assert c.decide(1, alu(), 1) is False  # thread 1 still initial
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            CoarseGrainSteering(IQOnlySteering(), 1, granularity=0)
+
+    def test_stats_include_granularity(self):
+        c = CoarseGrainSteering(IQOnlySteering(), 1, granularity=16)
+        c.decide(0, alu(), 0)
+        assert c.stats()["granularity"] == 16.0
+
+    def test_end_to_end(self):
+        cfg = CoreConfig(num_threads=1, shelf_entries=16,
+                         steering="practical")
+        tr = generate("mixed.int", 600, 0)
+        pipe = Pipeline(cfg, [tr])
+        pipe.steering = CoarseGrainSteering(PracticalSteering(cfg), 1, 64)
+        res = pipe.run(stop="all")
+        assert res.threads[0].retired == 600
+        pipe.check_final_invariants()
+
+
+class TestAdaptiveSteering:
+    def test_probe_cycle_disables_when_shelf_loses(self):
+        # A base policy that always says shelf; completions are higher in
+        # the probe-off epoch -> the thread gets locked to disabled.
+        a = AdaptiveSteering(ShelfOnlySteering(), 1, epoch_cycles=10,
+                             locked_epochs=2)
+        assert a.decide(0, alu(), 0) is True  # probe-on
+        a._completions[0] = 5
+        a.tick(10)   # end probe-on epoch
+        assert a._enabled[0] is False
+        a._completions[0] = 9
+        a.tick(20)   # end probe-off epoch: off wins
+        assert a._enabled[0] is False
+        assert a.decide(0, alu(), 21) is False
+        assert a.disable_decisions == 1
+
+    def test_reprobe_after_lock_expires(self):
+        a = AdaptiveSteering(ShelfOnlySteering(), 1, epoch_cycles=10,
+                             locked_epochs=1)
+        a.tick(10)
+        a.tick(20)
+        a.tick(30)  # locked epoch passes
+        a.tick(40)
+        assert a._phase[0] in (a._PROBE_ON, a._PROBE_OFF)
+
+    def test_end_to_end_never_catastrophic(self):
+        # Adaptive steering bounds shelf damage on any workload.
+        cfg = CoreConfig(num_threads=1, shelf_entries=16,
+                         steering="practical")
+        tr = generate("gather.stride", 1500, 0)
+        base = simulate(CoreConfig(num_threads=1), [tr], stop="all")
+        pipe = Pipeline(cfg, [tr])
+        pipe.steering = AdaptiveSteering(PracticalSteering(cfg), 1,
+                                         epoch_cycles=1500)
+        res = pipe.run(stop="all")
+        assert res.threads[0].retired == 1500
+        assert res.cycles <= base.cycles * 1.15
+
+
+class TestTSOMemoryModel:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_threads=1, memory_model="sequential-ish")
+
+    def test_non_coalescing_buffer(self):
+        b = StoreBuffer(4, coalesce=False)
+        b.insert(0x100)
+        b.insert(0x108)  # same line: still two entries under TSO
+        assert b.occupancy == 2
+        assert b.coalesced == 0
+        assert b.contains(0x100)
+        assert b.drain_one() == 0x100
+        assert b.occupancy == 1
+
+    def test_non_coalescing_capacity(self):
+        b = StoreBuffer(2, coalesce=False)
+        b.insert(0x100)
+        b.insert(0x100)
+        assert not b.can_accept(0x100)  # no coalescing escape hatch
+
+    def test_incomplete_elder_load_tracking(self):
+        q = LoadStoreQueues(8, 8, 4)
+        ld = _load(0, 0, 0x100)
+        q.dispatch_load(ld)
+        assert q.has_incomplete_elder_load(5)
+        ld.completed = True
+        assert not q.has_incomplete_elder_load(5)
+
+    def test_shelf_load_tracked_for_tso(self):
+        q = LoadStoreQueues(8, 8, 4)
+        ld = _load(0, 0, 0x100)
+        q.dispatch_shelf_load(ld)
+        assert q.lq_occupancy == 0  # no LQ entry
+        assert q.has_incomplete_elder_load(5)
+
+    def test_tso_runs_retire_everything(self):
+        for steering, shelf in (("iq-only", 0), ("practical", 16)):
+            cfg = CoreConfig(num_threads=1, shelf_entries=shelf,
+                             steering=steering, memory_model="tso")
+            pipe = Pipeline(cfg, [generate("mixed.store", 800, 0)])
+            res = pipe.run(stop="all")
+            assert res.threads[0].retired == 800
+            pipe.check_final_invariants()
+
+    def test_tso_shelf_stores_allocate_sq_entries(self):
+        cfg = CoreConfig(num_threads=1, shelf_entries=16,
+                         steering="shelf-only", memory_model="tso")
+        pipe = Pipeline(cfg, [generate("mixed.store", 500, 0)])
+        res = pipe.run(stop="all")
+        assert res.events.sq_writes > 0  # shelf stores hit the SQ under TSO
+        relaxed = Pipeline(CoreConfig(num_threads=1, shelf_entries=16,
+                                      steering="shelf-only"),
+                           [generate("mixed.store", 500, 0)]).run(stop="all")
+        assert relaxed.events.sq_writes == 0
+
+    def test_tso_at_four_threads(self):
+        cfg = CoreConfig(num_threads=4, shelf_entries=64,
+                         steering="practical", memory_model="tso")
+        traces = [generate(b, 400, i) for i, b in enumerate(
+            ["mixed.store", "gather.rmw", "stream.copy", "serial.alu"])]
+        pipe = Pipeline(cfg, traces)
+        res = pipe.run(stop="all")
+        assert all(t.retired == 400 for t in res.threads)
+        pipe.check_final_invariants()

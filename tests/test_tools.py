@@ -1,0 +1,158 @@
+"""Tests for the CLI, the pipe-trace visualizer and trace serialization."""
+
+import io
+import sys
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import format_pipetrace, occupancy_timeline
+from repro.core import CoreConfig, Pipeline
+from repro.trace import Trace, generate
+from repro.trace.serialize import load_trace, save_trace
+
+
+@pytest.fixture
+def capture(capsys):
+    return capsys
+
+
+class TestCLI:
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "pchase.mem" in out and "stream.add" in out
+        assert "pointer chase" in out
+
+    def test_run_single_thread(self, capsys):
+        rc = main(["run", "ilp.int4", "--threads", "1",
+                   "--length", "300", "--config", "base64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "retired" in out and "300" in out
+
+    def test_run_with_energy_and_pipetrace(self, capsys):
+        rc = main(["run", "serial.alu", "--threads", "1", "--length",
+                   "200", "--energy", "--pipetrace", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "EDP" in out and "W over" in out
+        assert "D=dispatch" in out
+
+    def test_run_mismatched_thread_count(self, capsys):
+        assert main(["run", "ilp.int4,serial.alu", "--threads", "4",
+                     "--length", "100"]) == 2
+
+    def test_run_unknown_benchmark(self, capsys):
+        assert main(["run", "spec.gcc", "--threads", "1",
+                     "--length", "100"]) == 2
+
+    def test_run_tso(self, capsys):
+        rc = main(["run", "mixed.store", "--threads", "1", "--length",
+                   "300", "--memory-model", "tso"])
+        assert rc == 0
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+
+    def test_experiments_tab02(self, capsys):
+        assert main(["experiments", "tab02", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_trace_roundtrip_via_cli(self, tmp_path, capsys):
+        out_file = tmp_path / "t.jsonl.gz"
+        assert main(["trace", "branchy.easy", str(out_file),
+                     "--length", "250"]) == 0
+        tr = load_trace(out_file)
+        assert len(tr) == 250
+
+
+class TestSerialization:
+    def test_roundtrip_identity(self, tmp_path):
+        tr = generate("mixed.int", 400, 3)
+        path = tmp_path / "mix.gz"
+        save_trace(tr, path)
+        back = load_trace(path)
+        assert back.name == tr.name
+        assert len(back) == len(tr)
+        for a, b in zip(tr, back):
+            assert a == b  # frozen dataclasses compare by value
+
+    def test_all_op_classes_roundtrip(self, tmp_path):
+        tr = generate("gather.rmw", 300, 0)  # loads, stores, branches, alu
+        path = tmp_path / "t.gz"
+        save_trace(tr, path)
+        assert list(load_trace(path)) == list(tr)
+
+    def test_bad_format_rejected(self, tmp_path):
+        import gzip
+        import json
+        path = tmp_path / "bad.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(json.dumps({"format": 99, "name": "x",
+                                 "length": 0}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        import gzip
+        import json
+        path = tmp_path / "short.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(json.dumps({"format": 1, "name": "x",
+                                 "length": 5}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.core import simulate
+        tr = generate("branchy.hard", 500, 1)
+        path = tmp_path / "b.gz"
+        save_trace(tr, path)
+        cfg = CoreConfig(num_threads=1)
+        a = simulate(cfg, [tr], stop="all")
+        b = simulate(cfg, [load_trace(path)], stop="all")
+        assert a.cycles == b.cycles
+
+
+class TestPipetrace:
+    def _run(self, record=True):
+        pipe = Pipeline(CoreConfig(num_threads=1, shelf_entries=16,
+                                   steering="practical"),
+                        [generate("serial.alu", 200, 0)],
+                        record_schedule=record)
+        pipe.run(stop="all")
+        return pipe
+
+    def test_requires_recording(self):
+        pipe = self._run(record=False)
+        with pytest.raises(ValueError):
+            format_pipetrace(pipe)
+
+    def test_renders_rows_with_markers(self):
+        pipe = self._run()
+        text = format_pipetrace(pipe, max_instructions=10)
+        lines = text.splitlines()
+        assert len(lines) == 11  # header + 10 rows
+        for line in lines[1:]:
+            assert "D" in line or "I" in line
+            assert "R" in line
+            assert "shelf" in line or "iq" in line
+
+    def test_thread_filter(self):
+        pipe = self._run()
+        assert "(no retired instructions" in \
+            format_pipetrace(pipe, tid=3)
+
+    def test_window_selection(self):
+        pipe = self._run()
+        a = format_pipetrace(pipe, start=0, max_instructions=5)
+        b = format_pipetrace(pipe, start=50, max_instructions=5)
+        assert a != b
+
+    def test_occupancy_timeline(self):
+        pipe = self._run()
+        text = occupancy_timeline(pipe, buckets=10)
+        assert "retired instructions per" in text
+        assert "#" in text

@@ -1,0 +1,161 @@
+"""Unit tests for traces, workload generators and mix construction."""
+
+from collections import Counter
+
+import pytest
+
+from repro.isa import OpClass
+from repro.trace import (
+    BENCHMARK_NAMES,
+    Trace,
+    TraceCursor,
+    balanced_random_mixes,
+    benchmark_spec,
+    generate,
+    mix_name,
+)
+
+
+class TestTraceContainer:
+    def test_length_and_indexing(self):
+        tr = generate("ilp.int4", 100, 0)
+        assert len(tr) == 100
+        assert tr[0] is tr.instructions[0]
+
+    def test_stats_fractions_sum_to_one(self):
+        tr = generate("mixed.int", 500, 0)
+        assert abs(sum(tr.stats().values()) - 1.0) < 1e-9
+
+    def test_cursor_replay(self):
+        tr = generate("serial.alu", 50, 0)
+        cur = TraceCursor(tr)
+        seen = []
+        while not cur.exhausted:
+            seen.append(cur.advance())
+        assert seen == list(tr)
+        assert cur.peek() is None
+
+    def test_cursor_rewind(self):
+        tr = generate("serial.alu", 50, 0)
+        cur = TraceCursor(tr)
+        for _ in range(30):
+            cur.advance()
+        cur.rewind(10)
+        assert cur.pos == 10
+        assert cur.peek() is tr[10]
+
+    def test_cursor_rewind_bounds(self):
+        tr = generate("serial.alu", 50, 0)
+        cur = TraceCursor(tr)
+        with pytest.raises(ValueError):
+            cur.rewind(51)
+        with pytest.raises(ValueError):
+            cur.rewind(-1)
+
+
+class TestGenerators:
+    def test_roster_has_28_benchmarks(self):
+        # The paper evaluates 28 of 29 SPEC CPU2006 benchmarks.
+        assert len(BENCHMARK_NAMES) == 28
+        assert len(set(BENCHMARK_NAMES)) == 28
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_benchmark_generates_exact_length(self, name):
+        tr = generate(name, 400, 3)
+        assert len(tr) == 400
+        assert tr.name == name
+
+    def test_generation_is_deterministic(self):
+        a = generate("gather.large", 300, 7)
+        generate.cache_clear()
+        b = generate("gather.large", 300, 7)
+        assert [i.pc for i in a] == [i.pc for i in b]
+        assert [i.mem_addr for i in a] == [i.mem_addr for i in b]
+        assert [i.taken for i in a] == [i.taken for i in b]
+
+    def test_seed_changes_dynamic_content(self):
+        a = generate("branchy.hard", 300, 0)
+        b = generate("branchy.hard", 300, 1)
+        outcomes_a = [i.taken for i in a if i.is_branch]
+        outcomes_b = [i.taken for i in b if i.is_branch]
+        assert outcomes_a != outcomes_b
+
+    def test_pcs_repeat_across_iterations(self):
+        # The loop body must reuse PCs so the branch predictor can train.
+        tr = generate("branchy.easy", 600, 0)
+        pcs = {i.pc for i in tr}
+        assert len(pcs) < 200  # far fewer static PCs than dynamic instrs
+
+    def test_pchase_chain_is_serial(self):
+        # The chase loads (low register numbers carry the pointers) form a
+        # RAW chain; side-work loads are independent by design.
+        tr = generate("pchase.mem", 200, 0)
+        chase = [i for i in tr if i.is_load and i.dest is not None
+                 and i.dest < 8]
+        assert chase
+        assert all(l.dest in l.srcs for l in chase)
+
+    def test_stream_touches_large_footprint(self):
+        tr = generate("stream.copy", 4000, 0)
+        addrs = {i.mem_addr for i in tr if i.is_mem}
+        assert max(addrs) - min(addrs) > 64 * 1024
+
+    def test_footprint_respected_for_l1_benchmarks(self):
+        # The chase table itself stays within the declared footprint (the
+        # independent side stream lives in its own small region above it).
+        spec = benchmark_spec("pchase.l1")
+        tr = generate("pchase.l1", 2000, 0)
+        addrs = [i.mem_addr for i in tr if i.is_mem and i.mem_addr < 0x400000]
+        assert max(addrs) < spec.footprint
+
+    def test_branch_bias_matches_spec(self):
+        tr = generate("branchy.easy", 5000, 0)
+        inner = [i for i in tr if i.is_branch and not
+                 (i.taken and i.next_pc < i.pc)]  # exclude loop back-edges
+        frac = sum(i.taken for i in inner) / len(inner)
+        assert 0.85 < frac < 1.0
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_spec("no.such")
+        with pytest.raises(KeyError):
+            generate("no.such", 100, 0)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            generate("ilp.int4", 0, 0)
+
+    def test_all_families_represented(self):
+        families = {benchmark_spec(n).family for n in BENCHMARK_NAMES}
+        assert families == {"pchase", "stream", "ilp", "serial", "branchy",
+                            "mixed", "gather"}
+
+
+class TestMixes:
+    def test_default_balanced_28x4(self):
+        mixes = balanced_random_mixes()
+        assert len(mixes) == 28
+        counts = Counter(b for m in mixes for b in m)
+        assert set(counts.values()) == {4}  # every benchmark 4 times
+
+    def test_no_duplicates_within_a_mix(self):
+        for m in balanced_random_mixes():
+            assert len(set(m)) == 4
+
+    def test_deterministic_in_seed(self):
+        assert balanced_random_mixes(seed=5) == balanced_random_mixes(seed=5)
+        assert balanced_random_mixes(seed=5) != balanced_random_mixes(seed=6)
+
+    def test_two_thread_mixes(self):
+        mixes = balanced_random_mixes(num_mixes=28, threads_per_mix=2)
+        counts = Counter(b for m in mixes for b in m)
+        assert set(counts.values()) == {2}
+
+    def test_unbalanced_slot_count_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_random_mixes(num_mixes=5, threads_per_mix=3)
+
+    def test_mix_name_is_short_and_stable(self):
+        m = ("pchase.mem", "stream.add", "ilp.int4", "mixed.fp")
+        assert mix_name(m) == mix_name(m)
+        assert len(mix_name(m)) < 50

@@ -1,0 +1,128 @@
+"""Tests for trace transformations and the extra throughput metrics."""
+
+import pytest
+
+from repro.core import CoreConfig, simulate
+from repro.metrics import harmonic_speedup, weighted_speedup, stp
+from repro.trace import generate
+from repro.trace.transforms import (
+    concat_traces,
+    homogeneous_mix,
+    relocate_code,
+    relocate_data,
+    repeat_trace,
+    slice_trace,
+)
+from tests.test_metrics import make_result
+
+
+class TestSlice:
+    def test_basic_window(self):
+        tr = generate("ilp.int8", 300, 0)
+        window = slice_trace(tr, 100, 50)
+        assert len(window) == 50
+        assert window[0] == tr[100]
+
+    def test_bounds_checked(self):
+        tr = generate("ilp.int8", 100, 0)
+        with pytest.raises(ValueError):
+            slice_trace(tr, 90, 20)
+        with pytest.raises(ValueError):
+            slice_trace(tr, -1, 10)
+
+
+class TestRepeatConcat:
+    def test_repeat(self):
+        tr = generate("serial.alu", 50, 0)
+        r = repeat_trace(tr, 3)
+        assert len(r) == 150
+        assert r[50] == tr[0]
+        with pytest.raises(ValueError):
+            repeat_trace(tr, 0)
+
+    def test_concat_phases(self):
+        a = generate("ilp.int8", 60, 0)
+        b = generate("serial.alu", 40, 0)
+        c = concat_traces([a, b])
+        assert len(c) == 100
+        assert c[60] == b[0]
+        with pytest.raises(ValueError):
+            concat_traces([])
+
+    def test_phase_change_workload_simulates(self):
+        phase = concat_traces([generate("ilp.int8", 200, 0),
+                               generate("pchase.l1", 200, 0)])
+        res = simulate(CoreConfig(num_threads=1), [phase], stop="all")
+        assert res.threads[0].retired == 400
+
+
+class TestRelocation:
+    def test_data_relocation_shifts_addresses_only(self):
+        tr = generate("gather.small", 200, 0)
+        moved = relocate_data(tr, 0x100000)
+        for a, b in zip(tr, moved):
+            if a.mem_addr is not None:
+                assert b.mem_addr == a.mem_addr + 0x100000
+            assert b.pc == a.pc
+
+    def test_code_relocation_shifts_pcs_only(self):
+        tr = generate("branchy.easy", 200, 0)
+        moved = relocate_code(tr, 0x4000)
+        for a, b in zip(tr, moved):
+            assert b.pc == a.pc + 0x4000
+            assert b.next_pc == a.next_pc + 0x4000
+            assert b.mem_addr == a.mem_addr
+
+    def test_alignment_checked(self):
+        tr = generate("ilp.int8", 50, 0)
+        with pytest.raises(ValueError):
+            relocate_code(tr, 2)
+        with pytest.raises(ValueError):
+            relocate_data(tr, -8)
+
+    def test_homogeneous_mix_is_independent(self):
+        tr = generate("gather.small", 200, 0)
+        clones = homogeneous_mix(tr, 4)
+        assert len(clones) == 4
+        addrs = [next(i.mem_addr for i in c if i.is_mem) for c in clones]
+        assert len(set(addrs)) == 4  # distinct data regions
+        res = simulate(CoreConfig(num_threads=4), clones, stop="all")
+        assert all(t.retired == 200 for t in res.threads)
+
+    def test_homogeneous_mix_behaves_like_distinct_programs(self):
+        # Four relocated copies must not share L1 lines: the data miss
+        # count should be roughly 4x a single copy's, not 1x.
+        tr = generate("gather.small", 300, 0)
+        solo = simulate(CoreConfig(num_threads=1), [tr], stop="all")
+        quad = simulate(CoreConfig(num_threads=4), homogeneous_mix(tr, 4),
+                        stop="all")
+        assert quad.cache_stats["l1d"]["misses"] > \
+            2 * solo.cache_stats["l1d"]["misses"]
+
+
+class TestExtraMetrics:
+    def test_weighted_speedup_equals_stp(self):
+        res = make_result([2.0, 4.0])
+        singles = [1.0, 2.0]
+        assert weighted_speedup(res, singles) == stp(res, singles)
+
+    def test_harmonic_speedup_balanced(self):
+        res = make_result([2.0, 2.0])
+        assert harmonic_speedup(res, [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_harmonic_punishes_starvation(self):
+        balanced = make_result([4.0, 4.0])
+        skewed = make_result([2.0, 100.0])
+        singles = [2.0, 2.0]
+        # same-ish STP ordering can hide starvation; harmonic cannot.
+        assert harmonic_speedup(skewed, singles) < \
+            harmonic_speedup(balanced, singles)
+
+    def test_harmonic_zero_on_infinite_cpi(self):
+        res = make_result([float("inf"), 2.0])
+        assert harmonic_speedup(res, [1.0, 1.0]) == 0.0
+
+    def test_harmonic_length_mismatch(self):
+        res = make_result([1.0])
+        with pytest.raises(ValueError):
+            harmonic_speedup(res, [1.0, 2.0])

@@ -1,0 +1,54 @@
+"""Parallel fabric bench: serial vs parallel campaign wall-clock.
+
+Runs the smoke-scale standard campaign (every evaluated config × the
+scale's mixes) twice against fresh result stores — once serially, once
+through the ``jobs=4`` process pool — records both times in the perf
+trajectory, and checks the parallel records are bit-identical to the
+serial ones (modulo ``elapsed_s``).
+
+On a multi-core runner the parallel pass should approach
+``min(jobs, cores)×`` the serial throughput; on a single core it only
+pays the spawn overhead, so no speedup is asserted here.
+"""
+
+import time
+
+from repro.harness import clear_cache, standard_campaign
+from repro.trace.mixes import balanced_random_mixes
+
+JOBS = 4
+
+
+def _strip_elapsed(records):
+    return {key: {k: v for k, v in rec.items() if k != "elapsed_s"}
+            for key, rec in records.items()}
+
+
+def test_parallel_fabric_speedup(benchmark, scale, tmp_path, monkeypatch):
+    mixes = balanced_random_mixes()[:scale.num_mixes]
+    length = scale.instructions_per_thread
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial-store"))
+    clear_cache()
+    t0 = time.perf_counter()
+    serial = standard_campaign(tmp_path / "serial.jsonl", mixes,
+                               length).run(jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "par-store"))
+    clear_cache()
+
+    rounds = [0]
+
+    def parallel_campaign():
+        rounds[0] += 1
+        path = tmp_path / f"par-{rounds[0]}.jsonl"
+        return standard_campaign(path, mixes, length).run(jobs=JOBS)
+
+    parallel = benchmark.pedantic(parallel_campaign, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.total
+
+    clear_cache()
+    print(f"\nserial {serial_s:.2f}s vs jobs={JOBS} {parallel_s:.2f}s "
+          f"({serial_s / parallel_s:.2f}x) over {len(serial)} points")
+    assert _strip_elapsed(serial) == _strip_elapsed(parallel)

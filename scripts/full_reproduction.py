@@ -6,19 +6,35 @@ Runs the core figures (1, 2, 10, 11, 13, 14, Table II) at full scale —
 the ablation/granularity/sensitivity sweeps are excluded here because
 their extra configurations roughly double the runtime; run them with
 ``python -m repro experiments fig12 ablations granularity sensitivity``.
+
+Usage: python scripts/full_reproduction.py [--jobs N]
+
+``--jobs`` (or ``$REPRO_JOBS``) fans the simulation grid out across
+worker processes; results persist in the content-addressed store
+(``$REPRO_CACHE_DIR``), so a re-run after an interrupt or crash only
+simulates the missing points.
 """
 
+import argparse
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.harness import get_scale
+from repro.harness import cache_stats, get_scale, resolve_jobs, \
+    set_default_jobs
 
 CORE = ["tab02", "fig01", "fig02", "fig10", "fig11", "fig13", "fig14"]
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS, "
+                             "else serial; 0 = all cores)")
+    args = parser.parse_args()
+    set_default_jobs(args.jobs)
     scale = get_scale("full")
-    print(f"# full-scale reproduction: {scale}\n", flush=True)
+    print(f"# full-scale reproduction: {scale}, "
+          f"jobs: {resolve_jobs()}\n", flush=True)
     t_start = time.time()
     for key in CORE:
         t0 = time.time()
@@ -26,6 +42,8 @@ def main() -> None:
         print(result.format(), flush=True)
         print(f"[{key}: {time.time() - t0:.0f}s]\n", flush=True)
     print(f"total: {time.time() - t_start:.0f}s")
+    print("cache: " + ", ".join(f"{k}={v}"
+                                for k, v in cache_stats().items()))
 
 
 if __name__ == "__main__":

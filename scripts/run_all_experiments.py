@@ -1,22 +1,33 @@
 #!/usr/bin/env python3
 """Run every experiment at the selected scale and print all tables.
 
-Usage: [REPRO_SCALE=smoke|default|full] python scripts/run_all_experiments.py
+Usage: [REPRO_SCALE=smoke|default|full] \
+    python scripts/run_all_experiments.py [--jobs N]
 
 The in-process run cache is shared across experiments, so the full suite
-costs far less than the sum of its parts.
+costs far less than the sum of its parts; ``--jobs`` (or ``$REPRO_JOBS``)
+additionally fans each experiment's simulation grid out across worker
+processes, and the persistent store (``$REPRO_CACHE_DIR``) carries
+results across invocations.
 """
 
-import sys
+import argparse
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.harness import get_scale
+from repro.harness import cache_stats, get_scale, resolve_jobs, \
+    set_default_jobs
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS, "
+                             "else serial; 0 = all cores)")
+    args = parser.parse_args()
+    set_default_jobs(args.jobs)
     scale = get_scale()
-    print(f"# experiment suite at scale: {scale}\n")
+    print(f"# experiment suite at scale: {scale}, jobs: {resolve_jobs()}\n")
     t_start = time.time()
     for key, module in ALL_EXPERIMENTS.items():
         t0 = time.time()
@@ -24,6 +35,8 @@ def main() -> None:
         print(result.format())
         print(f"[{key}: {time.time() - t0:.0f}s]\n")
     print(f"total: {time.time() - t_start:.0f}s")
+    print("cache: " + ", ".join(f"{k}={v}"
+                                for k, v in cache_stats().items()))
 
 
 if __name__ == "__main__":

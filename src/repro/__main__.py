@@ -68,18 +68,22 @@ def _cmd_run(args) -> int:
 
 def _cmd_experiments(args) -> int:
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.harness import get_scale
+    from repro.harness import (cache_stats, get_scale, resolve_jobs,
+                               set_default_jobs)
     scale = get_scale(args.scale)
+    set_default_jobs(args.jobs)
     wanted = args.ids or list(ALL_EXPERIMENTS)
     unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
     if unknown:
         print(f"error: unknown experiment(s) {', '.join(unknown)}; "
               f"choose from {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
-    print(f"scale: {scale}\n")
+    print(f"scale: {scale}, jobs: {resolve_jobs()}\n")
     for key in wanted:
         print(ALL_EXPERIMENTS[key].run(scale).format())
         print()
+    stats = cache_stats()
+    print("cache: " + ", ".join(f"{k}={v}" for k, v in stats.items()))
     return 0
 
 
@@ -149,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment ids (default: all)")
     exp.add_argument("--scale", choices=["smoke", "default", "full"],
                      default=None)
+    exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for simulation fan-out "
+                          "(default: $REPRO_JOBS, else serial; "
+                          "0 = all cores)")
     exp.set_defaults(func=_cmd_experiments)
 
     lst = sub.add_parser("benchmarks", help="list the benchmark roster")

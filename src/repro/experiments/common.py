@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.config import CoreConfig
 from repro.harness.report import format_table
+from repro.harness.runner import prefill
 from repro.trace.workloads import BENCHMARK_NAMES
 
 
@@ -29,6 +31,36 @@ class ExperimentResult:
         extras = "\n".join(f"  {k} = {v:.4g}"
                            for k, v in sorted(self.findings.items()))
         return "\n".join(x for x in (body, claims, extras) if x)
+
+
+def warm_grid(configs: Iterable[CoreConfig],
+              mixes: Sequence[Sequence[str]], length: int,
+              jobs: Optional[int] = None,
+              reference: Optional[CoreConfig] = None,
+              stop: str = "first") -> int:
+    """Pre-simulate an experiment's (config × mix) evaluation grid.
+
+    Builds the exact point set the serial experiment code will request —
+    one *stop*-mode run per (config, mix) with the mix's enumeration
+    index as seed, plus (when *reference* is given) the single-thread
+    reference runs STP needs — and fans the uncached ones out across
+    worker processes via :func:`repro.harness.runner.prefill`.  The
+    experiment then keeps its straightforward serial shape; every
+    ``run_mix`` / ``single_thread_cpi`` call is a cache hit.
+
+    Returns the number of points actually dispatched.
+    """
+    points = []
+    for cfg in configs:
+        for seed, mix in enumerate(mixes):
+            points.append((cfg, tuple(mix), length, seed, stop))
+    if reference is not None:
+        ref = reference if reference.num_threads == 1 \
+            else reference.with_threads(1)
+        for seed, mix in enumerate(mixes):
+            for i, b in enumerate(mix):
+                points.append((ref, (b,), length, seed + i, "all"))
+    return prefill(points, jobs=jobs)
 
 
 def sample_mixes(threads: int, count: int,

@@ -13,12 +13,21 @@ from repro.harness.configs import (
 )
 from repro.harness.runner import (
     RunScale,
+    cache_stats,
     clear_cache,
     get_scale,
     mix_stp,
+    prefill,
     run_benchmark,
     run_mix,
     single_thread_cpi,
+)
+from repro.harness.cache import ResultStore, point_digest
+from repro.harness.executor import (
+    resolve_jobs,
+    run_points,
+    set_default_jobs,
+    simulate_point,
 )
 from repro.harness.report import format_table
 from repro.harness.campaign import Campaign, CampaignPoint, standard_campaign
@@ -31,12 +40,20 @@ __all__ = [
     "base128_config",
     "shelf_config",
     "EVALUATED_CONFIGS",
+    "ResultStore",
     "RunScale",
+    "cache_stats",
     "clear_cache",
     "get_scale",
     "mix_stp",
+    "point_digest",
+    "prefill",
+    "resolve_jobs",
     "run_benchmark",
     "run_mix",
+    "run_points",
+    "set_default_jobs",
+    "simulate_point",
     "single_thread_cpi",
     "format_table",
 ]

@@ -1,0 +1,204 @@
+"""Persistent, content-addressed store for simulation results.
+
+A :class:`ResultStore` maps a stable digest of one simulation point —
+(configuration, benchmarks, length, seed, stop-mode) plus a
+simulator-version salt — to a pickled :class:`~repro.core.stats.SimResult`
+on disk.  Every process (serial runs, campaign workers, fresh
+interpreters) shares the same store, so a full-scale reproduction only
+ever simulates each point once per simulator version.
+
+The store location is controlled by ``$REPRO_CACHE_DIR``:
+
+* unset     — ``$XDG_CACHE_HOME/repro-sim`` (default ``~/.cache/repro-sim``);
+* a path    — that directory;
+* ``off`` / ``0`` / ``none`` / empty — persistent caching disabled.
+
+The version salt hashes the simulator's own source (core, memory,
+frontend, rename, trace, isa packages), so editing the timing model
+invalidates stale entries without any manual bookkeeping.  Loading is
+corruption-tolerant: an unreadable entry is deleted and counted, never
+raised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import CoreConfig
+from repro.core.stats import SimResult
+
+#: bump when the on-disk record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: ``$REPRO_CACHE_DIR`` values that disable the persistent store.
+_DISABLED = {"", "0", "off", "none", "disabled"}
+
+#: packages whose source defines simulated behaviour (salt inputs).
+_SALT_PACKAGES = ("core", "memory", "frontend", "rename", "trace", "isa")
+
+_salt: Optional[str] = None
+
+
+def simulator_salt() -> str:
+    """Digest of the simulator's source files (computed once per process).
+
+    Any change to the packages that define timing behaviour produces new
+    digests, so stale results from an older simulator are never served.
+    """
+    global _salt
+    if _salt is None:
+        import repro
+        root = Path(repro.__file__).parent
+        h = hashlib.sha256()
+        for pkg in _SALT_PACKAGES:
+            for f in sorted((root / pkg).glob("*.py")):
+                h.update(f.name.encode())
+                h.update(f.read_bytes())
+        _salt = h.hexdigest()[:16]
+    return _salt
+
+
+def point_digest(config: CoreConfig, benchmarks: Tuple[str, ...],
+                 length: int, seed: int, stop: str) -> str:
+    """Stable content digest of one simulation point.
+
+    Built from the *values* of every configuration field (recursively,
+    including the cache hierarchy), so two structurally-equal configs
+    digest identically across processes and interpreter runs.
+    """
+    payload = json.dumps({
+        "schema": SCHEMA_VERSION,
+        "salt": simulator_salt(),
+        "config": asdict(config),
+        "benchmarks": list(benchmarks),
+        "length": length,
+        "seed": seed,
+        "stop": stop,
+    }, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultStore:
+    """Content-addressed on-disk result store with hit/miss accounting."""
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0    #: corrupt entries discarded on load
+        self.evictions = 0  #: entries removed by :meth:`clear`
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Optional[SimResult]:
+        """Load a result, or ``None`` on miss.  Corrupt entries are
+        deleted and counted as misses."""
+        path = self._path(digest)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated write, version skew, bad pickle: drop the entry.
+            self.errors += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(result, SimResult):
+            self.errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, digest: str, result: SimResult) -> None:
+        """Atomically persist a result (concurrent writers are safe: the
+        temp-file + rename sequence never exposes a partial entry)."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for f in self.directory.glob("*/*.pkl"):
+                try:
+                    f.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        self.evictions += removed
+        return removed
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"disk_hits": self.hits, "disk_misses": self.misses,
+                "disk_errors": self.errors, "disk_evictions": self.evictions}
+
+
+# -- process-wide store handle ----------------------------------------------
+
+_store: Optional[ResultStore] = None
+_store_resolved = False
+
+
+def store_dir() -> Optional[Path]:
+    """Resolve the store directory from the environment (None = disabled)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        if env.strip().lower() in _DISABLED:
+            return None
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-sim"
+
+
+def get_store() -> Optional[ResultStore]:
+    """The process-wide store handle, or ``None`` when caching is off."""
+    global _store, _store_resolved
+    if not _store_resolved:
+        directory = store_dir()
+        _store = ResultStore(directory) if directory is not None else None
+        _store_resolved = True
+    return _store
+
+
+def reset_store() -> None:
+    """Drop the process-wide handle so the next access re-reads the
+    environment (tests repoint ``$REPRO_CACHE_DIR`` between runs)."""
+    global _store, _store_resolved
+    _store = None
+    _store_resolved = False

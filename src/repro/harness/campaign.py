@@ -2,23 +2,24 @@
 
 A full-scale reproduction is hundreds of simulator runs.  A
 :class:`Campaign` enumerates (configuration, workload) points, runs the
-missing ones, and checkpoints every completed point to a JSON file so an
-interrupted campaign resumes where it stopped, and finished results can
-be analyzed without re-simulating.
+missing ones — fanned out across worker processes when ``jobs > 1`` —
+and checkpoints every completed point to a JSON file so an interrupted
+campaign resumes where it stopped, and finished results can be analyzed
+without re-simulating.  Campaign points also flow through the persistent
+result store (:mod:`repro.harness.cache`), so deleting a checkpoint file
+does not force re-simulation.
 """
 
 from __future__ import annotations
 
 import json
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CoreConfig
-from repro.core.pipeline import Pipeline
 from repro.core.stats import SimResult
-from repro.trace import generate
+from repro.harness.executor import run_points
 
 
 @dataclass(frozen=True)
@@ -74,8 +75,19 @@ class Campaign:
         if self.path.exists():
             with self.path.open() as fh:
                 for line in fh:
-                    rec = json.loads(line)
-                    self.records[rec["key"]] = rec
+                    line = line.strip()
+                    if not line:
+                        continue
+                    # A crash mid-write leaves a truncated trailing line;
+                    # tolerate it (and any other mangled line) so the
+                    # checkpoint file stays usable — the affected point
+                    # simply runs again.
+                    try:
+                        rec = json.loads(line)
+                        key = rec["key"]
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        continue
+                    self.records[key] = rec
 
     @property
     def pending(self) -> List[CampaignPoint]:
@@ -85,23 +97,39 @@ class Campaign:
     def completed(self) -> int:
         return sum(1 for p in self.points if p.key in self.records)
 
-    def run(self, progress: Optional[Callable[[str, int, int], None]] = None
-            ) -> Dict[str, dict]:
+    def run(self, progress: Optional[Callable[[str, int, int], None]] = None,
+            jobs: Optional[int] = None) -> Dict[str, dict]:
         """Execute all pending points, checkpointing after each.
+
+        With ``jobs > 1`` (or ``$REPRO_JOBS`` set) pending points run
+        concurrently across worker processes; each is still checkpointed
+        the moment it completes, so interrupting a parallel campaign
+        loses at most the in-flight points.  Simulated records are
+        bit-identical to a serial run (completion *order* in the file may
+        differ; records are keyed, so consumers are unaffected).
 
         Args:
             progress: optional callback ``(point_key, done, total)``.
+            jobs: worker processes (default: ``$REPRO_JOBS``, else serial).
 
         Returns the full key -> record mapping (existing + new).
         """
         total = len(self.points)
+        pending = self.pending
+        specs = [(p.config, p.benchmarks, p.length, p.seed, p.stop)
+                 for p in pending]
+        # A crash mid-write can leave the file without a trailing newline;
+        # terminate the partial line so the next record doesn't merge
+        # into it (and get discarded by the tolerant loader on reload).
+        if self.path.exists() and self.path.stat().st_size:
+            with self.path.open("rb+") as fh:
+                fh.seek(-1, 2)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
         with self.path.open("a") as fh:
-            for point in self.pending:
-                t0 = time.time()
-                traces = [generate(b, point.length, point.seed + i)
-                          for i, b in enumerate(point.benchmarks)]
-                result = Pipeline(point.config, traces).run(stop=point.stop)
-                rec = _result_record(point, result, time.time() - t0)
+            for i, result, elapsed in run_points(specs, jobs=jobs):
+                point = pending[i]
+                rec = _result_record(point, result, elapsed)
                 fh.write(json.dumps(rec) + "\n")
                 fh.flush()
                 self.records[point.key] = rec

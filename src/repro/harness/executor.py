@@ -1,0 +1,124 @@
+"""Process-pool fan-out for simulation points.
+
+The evaluation grid is embarrassingly parallel — hundreds of independent
+:meth:`Pipeline.run` invocations — so :func:`run_points` fans pending
+points out over a spawn-safe :class:`~concurrent.futures.ProcessPoolExecutor`
+and streams ``(index, result, elapsed)`` tuples back as points complete.
+At ``jobs=1`` (the default) it degrades to a plain serial loop with no
+pool, no pickling, and identical results.
+
+Worker processes consult and populate the persistent
+:mod:`~repro.harness.cache` store directly, so a point simulated by any
+worker is a disk hit for every later process.
+
+Job count resolution, in priority order: explicit ``jobs=`` argument,
+:func:`set_default_jobs` (the CLI's ``--jobs``), ``$REPRO_JOBS``, then 1.
+A non-positive count means "all cores".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.core.stats import SimResult
+from repro.harness.cache import get_store, point_digest
+from repro.trace import generate
+
+#: (config, benchmarks, length, seed, stop) — one simulation's inputs.
+PointSpec = Tuple[CoreConfig, Tuple[str, ...], int, int, str]
+
+_default_jobs: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default job count (the CLI's ``--jobs``)."""
+    global _default_jobs
+    _default_jobs = jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a job count: argument, CLI default, ``$REPRO_JOBS``, else 1."""
+    if jobs is None:
+        jobs = _default_jobs
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"bad REPRO_JOBS value {env!r}") from None
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def simulate_point(config: CoreConfig, benchmarks: Tuple[str, ...],
+                   length: int, seed: int, stop: str) -> SimResult:
+    """Run one simulation point through the persistent store.
+
+    Checks the content-addressed disk store first, simulates on miss, and
+    persists the result so any other process sharing the store dir hits.
+    """
+    store = get_store()
+    if store is not None:
+        digest = point_digest(config, benchmarks, length, seed, stop)
+        cached = store.get(digest)
+        if cached is not None:
+            return cached
+    traces = [generate(b, length, seed + i)
+              for i, b in enumerate(benchmarks)]
+    result = Pipeline(config, traces).run(stop=stop)
+    if store is not None:
+        store.put(digest, result)
+    return result
+
+
+def _worker(spec: PointSpec) -> Tuple[SimResult, float]:
+    t0 = time.time()
+    result = simulate_point(*spec)
+    return result, time.time() - t0
+
+
+def run_points(specs: Iterable[PointSpec], jobs: Optional[int] = None
+               ) -> Iterator[Tuple[int, SimResult, float]]:
+    """Run every spec, yielding ``(index, result, elapsed_s)`` as each
+    completes.
+
+    With ``jobs > 1`` points run across a spawn-context process pool and
+    arrive in completion order; with ``jobs = 1`` (or a single spec) they
+    run serially, in order, in this process.  Either way every completed
+    point is yielded exactly once, so callers can checkpoint incrementally.
+    """
+    specs = list(specs)
+    jobs = min(resolve_jobs(jobs), max(len(specs), 1))
+    if jobs <= 1:
+        for i, spec in enumerate(specs):
+            result, elapsed = _worker(spec)
+            yield i, result, elapsed
+        return
+    # spawn, not fork: workers re-import the package, so they are safe
+    # regardless of parent threads and identical across platforms.
+    ctx = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+        futures = {pool.submit(_worker, spec): i
+                   for i, spec in enumerate(specs)}
+        for future in as_completed(futures):
+            result, elapsed = future.result()
+            yield futures[future], result, elapsed
+
+
+def map_points(specs: Sequence[PointSpec], jobs: Optional[int] = None
+               ) -> list:
+    """Like :func:`run_points` but returns results in *spec* order."""
+    out: list = [None] * len(specs)
+    for i, result, _ in run_points(specs, jobs=jobs):
+        out[i] = result
+    return out

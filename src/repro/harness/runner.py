@@ -1,8 +1,13 @@
 """Cached simulation runners and run-scale selection.
 
-Simulation results are memoized in-process by (configuration, benchmark,
-length, seed, stop-mode), so the many experiments that share runs — e.g.
-Figure 10's mix runs feeding Figure 13's EDP — simulate each point once.
+Simulation results are memoized at two levels: in-process by
+(configuration, benchmark, length, seed, stop-mode), so the many
+experiments that share runs — e.g. Figure 10's mix runs feeding
+Figure 13's EDP — simulate each point once per process; and persistently
+via the content-addressed disk store in :mod:`repro.harness.cache`, so a
+fresh interpreter (or a pool worker) reuses every previously simulated
+point.  :func:`prefill` fans uncached points out across a process pool
+(see :mod:`repro.harness.executor`) and seeds both levels.
 
 STP needs a single-threaded reference CPI per benchmark.  We reference all
 configurations against the *baseline* (Base64) single-thread CPIs, which
@@ -14,14 +19,14 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.config import CoreConfig
-from repro.core.pipeline import Pipeline
 from repro.core.stats import SimResult
+from repro.harness import cache as _cache
 from repro.harness.configs import base64_config
+from repro.harness.executor import PointSpec, run_points, simulate_point
 from repro.metrics.throughput import stp
-from repro.trace import generate
 
 
 @dataclass(frozen=True)
@@ -57,22 +62,69 @@ def get_scale(name: Optional[str] = None) -> RunScale:
 
 # -- memoized simulation ---------------------------------------------------
 
-_CACHE: Dict[tuple, SimResult] = {}
+_CACHE: Dict[PointSpec, SimResult] = {}
+_STATS = {"hits": 0, "misses": 0}
 
 
-def clear_cache() -> None:
-    """Drop all memoized simulation results (tests use this)."""
+def clear_cache(disk: bool = False) -> None:
+    """Drop memoized simulation results (tests use this).
+
+    Clears the in-process memo dict, resets its hit/miss counters, and
+    drops the persistent-store handle so the next run re-reads
+    ``$REPRO_CACHE_DIR``.  With ``disk=True`` the on-disk entries are
+    deleted too.
+    """
     _CACHE.clear()
+    _STATS["hits"] = _STATS["misses"] = 0
+    if disk:
+        store = _cache.get_store()
+        if store is not None:
+            store.clear()
+    _cache.reset_store()
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss counters for both cache levels (in-process + disk)."""
+    stats = {"memo_hits": _STATS["hits"], "memo_misses": _STATS["misses"],
+             "memo_size": len(_CACHE)}
+    store = _cache.get_store()
+    if store is not None:
+        stats.update(store.stats)
+    return stats
 
 
 def _run(config: CoreConfig, benchmarks: Tuple[str, ...], length: int,
          seed: int, stop: str) -> SimResult:
     key = (config, benchmarks, length, seed, stop)
-    if key not in _CACHE:
-        traces = [generate(b, length, seed + i)
-                  for i, b in enumerate(benchmarks)]
-        _CACHE[key] = Pipeline(config, traces).run(stop=stop)
+    if key in _CACHE:
+        _STATS["hits"] += 1
+    else:
+        _STATS["misses"] += 1
+        _CACHE[key] = simulate_point(*key)
     return _CACHE[key]
+
+
+def prefill(points: Iterable[PointSpec],
+            jobs: Optional[int] = None) -> int:
+    """Simulate every not-yet-memoized point, fanned out over *jobs*
+    worker processes, and seed both cache levels.
+
+    Points already in the in-process memo are skipped; workers skip
+    points present in the persistent store.  Returns how many points
+    were dispatched.  After this, the matching :func:`run_mix` /
+    :func:`run_benchmark` calls are all cache hits, so experiment code
+    keeps its simple serial shape while the simulation work scales
+    across cores.
+    """
+    seen = set()
+    specs = []
+    for spec in points:
+        if spec not in seen and spec not in _CACHE:
+            seen.add(spec)
+            specs.append(spec)
+    for i, result, _ in run_points(specs, jobs=jobs):
+        _CACHE[specs[i]] = result
+    return len(specs)
 
 
 def run_benchmark(config: CoreConfig, benchmark: str, length: int,

@@ -5,7 +5,8 @@ Subcommands:
 * ``run``          simulate a benchmark mix on a named configuration;
 * ``experiments``  regenerate paper figures/tables;
 * ``benchmarks``   list the synthetic benchmark roster;
-* ``trace``        generate a benchmark trace and save it to a file.
+* ``trace``        generate a benchmark trace and save it to a file;
+* ``lint``         run the determinism lint over the codebase.
 """
 
 from __future__ import annotations
@@ -107,6 +108,14 @@ def _cmd_litmus(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import main as lint_main
+    forwarded = [str(p) for p in args.paths]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 def _cmd_trace(args) -> int:
     from repro.trace.serialize import save_trace
     if args.benchmark not in BENCHMARK_NAMES:
@@ -165,6 +174,14 @@ def build_parser() -> argparse.ArgumentParser:
     lit = sub.add_parser("litmus",
                          help="measure fundamental pipeline latencies")
     lit.set_defaults(func=_cmd_litmus)
+
+    lint = sub.add_parser("lint",
+                          help="determinism lint over the codebase")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: src tests)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="describe every rule and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     tr = sub.add_parser("trace", help="generate and save a trace")
     tr.add_argument("benchmark")

@@ -11,6 +11,7 @@ Public surface:
 from repro.core.config import CoreConfig
 from repro.core.dynamic import DynInstr
 from repro.core.pipeline import DeadlockError, Pipeline, simulate
+from repro.core.sanitizer import Sanitizer, SanitizerError, sanitize_enabled
 from repro.core.stats import EventCounts, SimResult, ThreadResult
 from repro.core.steering import (
     ComparisonSteering,
@@ -28,6 +29,9 @@ __all__ = [
     "DynInstr",
     "DeadlockError",
     "Pipeline",
+    "Sanitizer",
+    "SanitizerError",
+    "sanitize_enabled",
     "simulate",
     "EventCounts",
     "SimResult",

@@ -72,6 +72,13 @@ class CoreConfig:
     # or 'tournament'.
     branch_predictor: str = "gshare"
 
+    # Opt-in microarchitectural sanitizer (see repro.core.sanitizer):
+    # re-checks structural invariants every cycle and at drain.  Purely
+    # observational — results are bit-identical either way.  The
+    # REPRO_SANITIZE environment variable enables it regardless of this
+    # flag.
+    sanitize: bool = False
+
     clock_ghz: float = 2.0
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
 

@@ -98,6 +98,21 @@ class StoreBuffer:
     def occupancy(self) -> int:
         return len(self._entries)
 
+    def audit(self) -> List[str]:
+        """Sanitizer check: capacity and refcount bookkeeping agree."""
+        problems: List[str] = []
+        if len(self._entries) > self.capacity:
+            problems.append(f"store buffer overflow: {len(self._entries)} "
+                            f"entries, capacity {self.capacity}")
+        refs = sum(self._lines_present.values())
+        if refs != len(self._entries):
+            problems.append(f"store buffer refcounts ({refs}) disagree "
+                            f"with entries ({len(self._entries)})")
+        if any(c <= 0 for c in self._lines_present.values()):
+            problems.append("store buffer holds a non-positive line "
+                            "refcount")
+        return problems
+
 
 class LoadStoreQueues:
     """One thread's LQ + SQ + store buffer."""
@@ -264,6 +279,43 @@ class LoadStoreQueues:
         self.sq = [d for d in self.sq if d.seq < seq]
         self.all_stores = [d for d in self.all_stores if d.seq < seq]
         self.all_loads = [d for d in self.all_loads if d.seq < seq]
+
+    # -- sanitizer hooks ---------------------------------------------------
+
+    def audit(self) -> List[str]:
+        """Sanitizer check: queue capacity, age ordering, and slot flags.
+
+        Every queue must hold live instructions in strictly increasing
+        global age — a mis-ordered LQ/SQ breaks the "scan elder entries
+        only" disambiguation walks (paper Section III-D).
+        """
+        problems: List[str] = []
+        if len(self.lq) > self.lq_capacity:
+            problems.append(f"LQ overflow: {len(self.lq)} entries, "
+                            f"capacity {self.lq_capacity}")
+        if len(self.sq) > self.sq_capacity:
+            problems.append(f"SQ overflow: {len(self.sq)} entries, "
+                            f"capacity {self.sq_capacity}")
+        for name, queue in (("LQ", self.lq), ("SQ", self.sq),
+                            ("all-store list", self.all_stores)):
+            prev = None
+            for dyn in queue:
+                if dyn.squashed:
+                    problems.append(f"{name}: squashed occupant {dyn!r}")
+                if prev is not None and dyn.gseq <= prev.gseq:
+                    problems.append(
+                        f"{name}: age order broken — gseq {dyn.gseq} "
+                        f"follows {prev.gseq} (elder-entry scans would "
+                        f"miss it)")
+                prev = dyn
+        for dyn in self.lq:
+            if not dyn.lq_slot:
+                problems.append(f"LQ occupant without an LQ slot: {dyn!r}")
+        for dyn in self.sq:
+            if not dyn.sq_slot:
+                problems.append(f"SQ occupant without an SQ slot: {dyn!r}")
+        problems.extend(self.store_buffer.audit())
+        return problems
 
     @property
     def lq_occupancy(self) -> int:

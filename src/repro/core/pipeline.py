@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.config import CoreConfig
 from repro.core.dynamic import DynInstr
 from repro.core.stats import EventCounts, SimResult, ThreadResult
+from repro.core.sanitizer import Sanitizer, sanitize_enabled
 from repro.core.scoreboard import Scoreboard
 from repro.core.steering import SteeringPolicy, make_steering
 from repro.core.store_sets import StoreSets
@@ -98,6 +99,11 @@ class Pipeline:
         #: :mod:`repro.analysis.pipetrace`), only with record_schedule.
         self.instr_log: List[dict] = []
 
+        #: opt-in invariant checker (config.sanitize or $REPRO_SANITIZE);
+        #: observational only — sanitized runs stay bit-identical.
+        self.sanitizer: Optional[Sanitizer] = \
+            Sanitizer(self) if sanitize_enabled(config) else None
+
     # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
@@ -141,6 +147,9 @@ class Pipeline:
             raise DeadlockError(f"max_cycles={limit} exceeded "
                                 f"({self._total_retired}/{total_instrs} "
                                 f"retired)")
+        if self.sanitizer is not None and \
+                all(t.finished for t in self.threads):
+            self.sanitizer.check_drain(self.cycle)
         return self._result(stop)
 
     def _reset_statistics(self) -> None:
@@ -172,6 +181,8 @@ class Pipeline:
         self._dispatch(cycle)
         self._fetch(cycle)
         self._tick(cycle)
+        if self.sanitizer is not None:
+            self.sanitizer.check_cycle(cycle)
         self.cycle = cycle + 1
 
     # ------------------------------------------------------------------
@@ -380,6 +391,8 @@ class Pipeline:
         if dyn.first_in_run and not dyn.ssr_copied:
             thread.ssr.copy_to_shelf()
             dyn.ssr_copied = True
+            if self.sanitizer is not None:
+                self.sanitizer.check_ssr_merge(thread, cycle)
         if not self.scoreboard.all_ready(dyn.src_tags, cycle):
             return False
         # WAW: the previous writer of the destination must have delivered.
@@ -441,6 +454,8 @@ class Pipeline:
         thread.icount -= 1
         thread.order_tracker.mark_issued(dyn.order_idx)
         if dyn.to_shelf:
+            if self.sanitizer is not None:
+                self.sanitizer.note_shelf_issue(thread, dyn, cycle)
             popped = thread.shelf.pop_issued()
             assert popped is dyn, "shelf issued out of FIFO order"
             self.events.shelf_issues += 1
@@ -736,6 +751,8 @@ class Pipeline:
         thread.lsq.squash_from(from_seq)
         if min_shelf_idx is not None:
             thread.shelf.squash_from(min_shelf_idx)
+            if self.sanitizer is not None:
+                self.sanitizer.note_shelf_squash(thread, min_shelf_idx)
         thread.shelf_wb_pending = [d for d in thread.shelf_wb_pending
                                    if not d.squashed]
         self.iq = [d for d in self.iq if not d.squashed]
@@ -792,7 +809,8 @@ class Pipeline:
         ev.sq_searches = sum(t.lsq.sq_search_events for t in self.threads)
         ev.storebuf_coalesced = sum(t.lsq.store_buffer.coalesced
                                     for t in self.threads)
-        occupancy = {k: v / cycles for k, v in self._occ_sums.items()}
+        occupancy = {k: v / cycles
+                     for k, v in sorted(self._occ_sums.items())}
         return SimResult(
             config_label=self.config.label(),
             cycles=cycles,

@@ -1,0 +1,274 @@
+"""Opt-in microarchitectural invariant sanitizer.
+
+The shelf's whole point is doing *without* the usual bookkeeping — no
+ROB entry, no new physical register, no LQ/SQ slot — which means a
+silent leak or an ordering slip in exactly those paths corrupts results
+without failing a single test.  The sanitizer re-derives the structural
+invariants from first principles every cycle and at drain, and raises a
+structured :class:`SanitizerError` naming the structure, thread, and
+cycle the moment one breaks.
+
+Enable it with ``REPRO_SANITIZE=1`` in the environment (inherited by
+pool workers) or ``CoreConfig(sanitize=True)``.  Checked invariants:
+
+* **register conservation** — physical/extension free lists conserve
+  ids (no leak, no double-free), every in-use id is reachable from a
+  RAT mapping or an in-flight rename record, and vice versa;
+* **shelf FIFO discipline** — shelf issue leaves the FIFO in program
+  order; virtual indices stay inside the doubled index space and agree
+  with the retire bitvector;
+* **SSR merge monotonicity** — a run-boundary IQ→shelf SSR copy never
+  leaves the shelf SSR below the IQ SSR;
+* **LQ/SQ age ordering** — disambiguation queues hold live entries in
+  strictly increasing global age;
+* **extended-tag uniqueness** — no two in-flight writers share a
+  destination tag, and scoreboard entries match issue state;
+* **zero shelf-side allocations** — no shelf instruction ever holds a
+  ROB index, a fresh physical register, or an LQ/SQ slot it must not
+  have (TSO legitimately gives shelf stores SQ entries).
+
+The sanitizer reads pipeline state but never mutates it, so a sanitized
+run produces bit-identical result records — CI re-runs the smoke
+experiments under ``REPRO_SANITIZE=1`` against a separate result store
+to prove exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import CoreConfig
+    from repro.core.dynamic import DynInstr
+    from repro.core.pipeline import Pipeline
+    from repro.core.thread_context import ThreadContext
+
+#: ``$REPRO_SANITIZE`` values that leave the sanitizer off.
+_OFF = {"", "0", "off", "false", "no"}
+
+
+def sanitize_enabled(config: Optional["CoreConfig"] = None) -> bool:
+    """Is the sanitizer requested, by config flag or environment?"""
+    if config is not None and getattr(config, "sanitize", False):
+        return True
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in _OFF
+
+
+class SanitizerError(RuntimeError):
+    """One violated microarchitectural invariant.
+
+    Attributes:
+        structure: which structure broke (``"freelist:phys"``,
+            ``"shelf"``, ``"ssr"``, ``"lsq"``, ``"scoreboard"``,
+            ``"rat"``, ``"tags"``, ``"drain"``);
+        thread: hardware thread id, or None for shared structures;
+        cycle: simulation cycle at which the check fired.
+    """
+
+    def __init__(self, structure: str, thread: Optional[int], cycle: int,
+                 message: str) -> None:
+        self.structure = structure
+        self.thread = thread
+        self.cycle = cycle
+        where = f"t{thread}" if thread is not None else "shared"
+        super().__init__(
+            f"sanitizer: {structure} [{where}] cycle {cycle}: {message}")
+
+
+class Sanitizer:
+    """Per-pipeline invariant checker (see the module docstring).
+
+    One instance is attached to a :class:`~repro.core.pipeline.Pipeline`
+    when sanitizing is enabled; :meth:`check_cycle` runs at the end of
+    every :meth:`Pipeline.step`, :meth:`check_drain` after a
+    run-to-completion, and the targeted hooks
+    (:meth:`check_ssr_merge`, :meth:`note_shelf_issue`) fire at the
+    events they guard.
+    """
+
+    def __init__(self, pipeline: "Pipeline") -> None:
+        self.pipe = pipeline
+        self.checks = 0  #: completed whole-cycle sweeps (introspection)
+        self._last_shelf_issue: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # targeted event hooks
+    # ------------------------------------------------------------------
+
+    def check_ssr_merge(self, thread: "ThreadContext", cycle: int) -> None:
+        """Called right after a run-boundary IQ→shelf SSR copy: the merge
+        must leave the shelf SSR covering all tracked IQ speculation."""
+        deficit = thread.ssr.merge_deficit()
+        if deficit:
+            raise SanitizerError(
+                "ssr", thread.tid, cycle,
+                f"run-boundary merge lost {deficit} cycle(s) of IQ "
+                f"speculation (iq_ssr={thread.ssr.iq_ssr}, "
+                f"shelf_ssr={thread.ssr.shelf_ssr}); a shelf writeback "
+                f"could land under unresolved elder speculation")
+
+    def note_shelf_issue(self, thread: "ThreadContext", dyn: "DynInstr",
+                         cycle: int) -> None:
+        """Called as a shelf instruction issues: it must be the FIFO head
+        and its virtual index must advance monotonically."""
+        if thread.shelf.head is not dyn:
+            raise SanitizerError(
+                "shelf", thread.tid, cycle,
+                f"issued {dyn!r} is not the FIFO head "
+                f"{thread.shelf.head!r} — shelf issue left program order")
+        last = self._last_shelf_issue.get(thread.tid)
+        if last is not None and dyn.shelf_idx is not None and \
+                dyn.shelf_idx <= last:
+            raise SanitizerError(
+                "shelf", thread.tid, cycle,
+                f"shelf issue order regressed: index {dyn.shelf_idx} "
+                f"after {last}")
+        if dyn.shelf_idx is not None:
+            self._last_shelf_issue[thread.tid] = dyn.shelf_idx
+
+    def note_shelf_squash(self, thread: "ThreadContext",
+                          min_idx: int) -> None:
+        """Called when a squash rolls the shelf tail back to *min_idx*:
+        replayed instructions legitimately re-issue those indices, so the
+        monotone-issue floor drops with the tail."""
+        last = self._last_shelf_issue.get(thread.tid)
+        if last is not None and last >= min_idx:
+            self._last_shelf_issue[thread.tid] = min_idx - 1
+
+    # ------------------------------------------------------------------
+    # whole-cycle sweep
+    # ------------------------------------------------------------------
+
+    def check_cycle(self, cycle: int) -> None:
+        """Assert every per-cycle invariant; called at the end of
+        :meth:`Pipeline.step`."""
+        pipe = self.pipe
+        self._check_freelist("freelist:phys", pipe.phys_fl, cycle)
+        self._check_freelist("freelist:ext", pipe.ext_fl, cycle)
+        for problem in pipe.rat.audit():
+            raise SanitizerError("rat", None, cycle, problem)
+        for thread in pipe.threads:
+            for problem in thread.shelf.audit():
+                raise SanitizerError("shelf", thread.tid, cycle, problem)
+            for problem in thread.ssr.audit():
+                raise SanitizerError("ssr", thread.tid, cycle, problem)
+            for problem in thread.lsq.audit():
+                raise SanitizerError("lsq", thread.tid, cycle, problem)
+            self._check_inflight(thread, cycle)
+        self._check_tag_space(cycle)
+        self.checks += 1
+
+    def _check_freelist(self, label: str, freelist, cycle: int) -> None:
+        for problem in freelist.audit():
+            raise SanitizerError(label, None, cycle, problem)
+
+    def _check_inflight(self, thread: "ThreadContext", cycle: int) -> None:
+        """Shelf no-allocation discipline and scoreboard consistency."""
+        tso = self.pipe.config.memory_model == "tso"
+        sb = self.pipe.scoreboard
+        for dyn in thread.rob:
+            if dyn.to_shelf:
+                raise SanitizerError(
+                    "shelf", thread.tid, cycle,
+                    f"shelf instruction {dyn!r} occupies a ROB entry")
+        for dyn in thread.in_flight:
+            if dyn.squashed or dyn.rename is None:
+                continue
+            if dyn.to_shelf:
+                rec = dyn.rename
+                if dyn.rob_idx is not None:
+                    raise SanitizerError(
+                        "shelf", thread.tid, cycle,
+                        f"{dyn!r} allocated issue-tracker index "
+                        f"{dyn.rob_idx} despite steering to the shelf")
+                if rec.arch is not None and rec.pri != rec.prev_pri:
+                    raise SanitizerError(
+                        "shelf", thread.tid, cycle,
+                        f"{dyn!r} allocated a fresh physical register "
+                        f"({rec.prev_pri} -> {rec.pri}); shelf renames "
+                        f"must reuse the current PRI")
+                if dyn.lq_slot:
+                    raise SanitizerError(
+                        "shelf", thread.tid, cycle,
+                        f"shelf load {dyn!r} holds an LQ slot")
+                if dyn.sq_slot and not (tso and dyn.is_store):
+                    raise SanitizerError(
+                        "shelf", thread.tid, cycle,
+                        f"shelf instruction {dyn!r} holds an SQ slot "
+                        f"outside the TSO model")
+            if dyn.dest_tag is None:
+                continue
+            if not dyn.issued and not sb.is_unwritten(dyn.dest_tag):
+                raise SanitizerError(
+                    "scoreboard", thread.tid, cycle,
+                    f"un-issued {dyn!r} has tag {dyn.dest_tag} marked "
+                    f"ready at {sb.ready_at(dyn.dest_tag)}")
+            if dyn.issued and sb.ready_at(dyn.dest_tag) != dyn.complete_cycle:
+                raise SanitizerError(
+                    "scoreboard", thread.tid, cycle,
+                    f"issued {dyn!r} tag {dyn.dest_tag} ready at "
+                    f"{sb.ready_at(dyn.dest_tag)}, expected its completion "
+                    f"cycle {dyn.complete_cycle}")
+
+    def _check_tag_space(self, cycle: int) -> None:
+        """Tag uniqueness among in-flight writers and id conservation
+        between the free lists, the RAT, and in-flight rename records."""
+        pipe = self.pipe
+        prf = pipe.config.prf_entries
+        refs_phys, refs_ext = pipe.rat.mapped_ids()
+        owner: Dict[int, "DynInstr"] = {}
+        for thread in pipe.threads:
+            for dyn in thread.in_flight:
+                if dyn.squashed or dyn.rename is None:
+                    continue
+                if dyn.dest_tag is not None:
+                    clash = owner.get(dyn.dest_tag)
+                    if clash is not None:
+                        raise SanitizerError(
+                            "tags", thread.tid, cycle,
+                            f"destination tag {dyn.dest_tag} shared by "
+                            f"in-flight writers {clash!r} and {dyn!r}")
+                    owner[dyn.dest_tag] = dyn
+                rec = dyn.rename
+                for ident in (rec.pri, rec.prev_pri, rec.tag, rec.prev_tag):
+                    if ident is None:
+                        continue
+                    if ident >= prf:
+                        refs_ext.add(ident)
+                    else:
+                        refs_phys.add(ident)
+        self._check_conservation("freelist:phys", pipe.phys_fl, refs_phys,
+                                 "physical register", cycle)
+        self._check_conservation("freelist:ext", pipe.ext_fl, refs_ext,
+                                 "extension tag", cycle)
+
+    def _check_conservation(self, label: str, freelist, refs: Set[int],
+                            what: str, cycle: int) -> None:
+        in_use = freelist.in_use_ids()
+        leaked = in_use - refs
+        if leaked:
+            raise SanitizerError(
+                label, None, cycle,
+                f"{what} leak: ids {sorted(leaked)[:8]} are allocated but "
+                f"referenced by no RAT mapping or in-flight instruction")
+        premature = refs - in_use
+        if premature:
+            raise SanitizerError(
+                label, None, cycle,
+                f"{what} double-free: ids {sorted(premature)[:8]} are "
+                f"still referenced but already back on the free list")
+
+    # ------------------------------------------------------------------
+    # drain
+    # ------------------------------------------------------------------
+
+    def check_drain(self, cycle: int) -> None:
+        """After a run-to-completion every structure must be empty and
+        every identifier home (wraps
+        :meth:`Pipeline.check_final_invariants`)."""
+        self.check_cycle(cycle)
+        try:
+            self.pipe.check_final_invariants()
+        except AssertionError as exc:
+            raise SanitizerError("drain", None, cycle, str(exc)) from exc

@@ -41,6 +41,15 @@ class Scoreboard:
     def is_ready(self, tag: int, cycle: int) -> bool:
         return self._ready[tag] <= cycle
 
+    def is_unwritten(self, tag: int) -> bool:
+        """Sanitizer hook: has *tag* no scheduled writeback at all?
+
+        An in-flight, un-issued writer's destination must stay in this
+        state — a premature ``set_ready`` would wake consumers on a value
+        that does not exist yet.
+        """
+        return self._ready[tag] == UNWRITTEN
+
     def all_ready(self, tags, cycle: int) -> bool:
         """True if every tag in *tags* is ready at *cycle*."""
         r = self._ready

@@ -110,6 +110,47 @@ class ShelfPartition:
 
     # -- introspection -----------------------------------------------------
 
+    def audit(self) -> list:
+        """Sanitizer check: FIFO program order, retire-bitvector and
+        virtual-index wraparound consistency.
+
+        Returns human-readable problem strings (empty = healthy).
+        """
+        problems = []
+        if self.entries and len(self.fifo) > self.entries:
+            problems.append(f"occupancy {len(self.fifo)} exceeds "
+                            f"{self.entries} entries")
+        prev = None
+        for dyn in self.fifo:
+            idx = dyn.shelf_idx
+            if idx is None:
+                problems.append(f"FIFO occupant {dyn!r} has no virtual index")
+                continue
+            if prev is not None and idx <= prev:
+                problems.append(f"FIFO order broken: index {idx} follows "
+                                f"{prev} (issue would leave program order)")
+            prev = idx
+            if idx < self.retire_ptr or idx >= self.tail:
+                problems.append(f"FIFO index {idx} outside the live window "
+                                f"[{self.retire_ptr}, {self.tail})")
+            if idx in self._retired:
+                problems.append(f"unissued index {idx} already marked "
+                                f"retired")
+        if self.retire_ptr > self.tail:
+            problems.append(f"retire pointer {self.retire_ptr} passed the "
+                            f"tail {self.tail}")
+        if self.entries and self.tail - self.retire_ptr > self.index_space:
+            problems.append(
+                f"virtual index overflow: {self.tail - self.retire_ptr} "
+                f"live indices in a {self.index_space}-wide space "
+                f"(wraparound would alias)")
+        stray = sorted(i for i in self._retired
+                       if not self.retire_ptr <= i < self.tail)
+        if stray:
+            problems.append(f"retire bitvector indices outside "
+                            f"[{self.retire_ptr}, {self.tail}): {stray[:8]}")
+        return problems
+
     @property
     def occupancy(self) -> int:
         return len(self.fifo)

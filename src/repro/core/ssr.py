@@ -66,3 +66,25 @@ class SpeculationShiftRegisters:
     def reset(self) -> None:
         self.iq_ssr = 0
         self.shelf_ssr = 0
+
+    # -- sanitizer hooks ---------------------------------------------------
+
+    def merge_deficit(self) -> int:
+        """How far the shelf SSR lags the IQ SSR *after* a run-boundary
+        merge — a correct merge leaves this at 0 (dual design).  A
+        positive value right after :meth:`copy_to_shelf` means the merge
+        was skipped or lost, letting a shelf instruction write back under
+        still-unresolved elder speculation."""
+        if not self.dual:
+            return 0
+        return max(0, self.iq_ssr - self.shelf_ssr)
+
+    def audit(self) -> list:
+        """Sanitizer check: SSR values never go negative (the shift
+        register drains to zero and stops)."""
+        problems = []
+        if self.iq_ssr < 0:
+            problems.append(f"IQ SSR negative: {self.iq_ssr}")
+        if self.shelf_ssr < 0:
+            problems.append(f"shelf SSR negative: {self.shelf_ssr}")
+        return problems

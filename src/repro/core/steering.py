@@ -341,7 +341,8 @@ class ComparisonSteering(SteeringPolicy):
 
     def stats(self) -> dict:
         total = self.agreements + self.disagreements
-        out = {f"primary_{k}": v for k, v in self.primary.stats().items()}
+        out = {f"primary_{k}": v
+               for k, v in sorted(self.primary.stats().items())}
         out["missteer_fraction"] = (self.disagreements / total) if total else 0.0
         return out
 

@@ -40,6 +40,14 @@ SCHEMA_VERSION = 1
 #: ``$REPRO_CACHE_DIR`` values that disable the persistent store.
 _DISABLED = {"", "0", "off", "none", "disabled"}
 
+#: everything a truncated or version-skewed pickle can raise on load:
+#: I/O errors, short reads, bad opcodes/containers, and stale references
+#: to renamed classes/modules.  Anything outside this set is a real bug
+#: and must propagate.
+CORRUPTION_ERRORS = (OSError, EOFError, ValueError, TypeError, KeyError,
+                     IndexError, AttributeError, ImportError,
+                     pickle.UnpicklingError, MemoryError)
+
 #: packages whose source defines simulated behaviour (salt inputs).
 _SALT_PACKAGES = ("core", "memory", "frontend", "rename", "trace", "isa")
 
@@ -108,8 +116,9 @@ class ResultStore:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
+        except CORRUPTION_ERRORS:
             # Truncated write, version skew, bad pickle: drop the entry.
+            # Occurrences are counted (``disk_errors`` in cache_stats()).
             self.errors += 1
             self.misses += 1
             try:

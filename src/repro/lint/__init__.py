@@ -1,0 +1,27 @@
+"""Determinism lint for the simulator (``python -m repro lint``).
+
+A small AST-based lint pass with simulator-specific rules: the timing
+model must be bit-reproducible (PR 1 made cached records a hard
+requirement), so nondeterminism sources, unordered per-cycle iteration,
+mutable defaults, broad exception handlers, and float equality are all
+reportable defects.  See :mod:`repro.lint.rules` for the rule catalogue
+and :mod:`repro.lint.engine` for the driver and the
+``# repro-lint: disable=CODE`` suppression syntax.
+"""
+
+from repro.lint.engine import (lint_file, lint_paths, lint_source, main,
+                               package_of, suppressions)
+from repro.lint.rules import ALL_RULES, FileContext, Rule, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "package_of",
+    "suppressions",
+]

@@ -1,0 +1,166 @@
+"""Lint driver: file discovery, suppression handling, reporting.
+
+``python -m repro lint [paths...]`` walks the given files/directories
+(default: ``src`` and ``tests`` under the current directory), runs every
+rule in :data:`repro.lint.rules.ALL_RULES` that applies to each file's
+package, filters inline suppressions, and prints a readable report.
+Exit status is 0 when clean, 1 when violations remain, 2 on usage
+errors.
+
+Inline suppression: append ``# repro-lint: disable=DET104`` (or a
+comma-separated list, or ``all``) to the line the violation is reported
+on.  Suppressions are the allowlist mechanism for audited sites — e.g.
+a corruption-tolerant load path that legitimately needs a broad
+``except``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import ast
+
+from repro.lint.rules import ALL_RULES, FileContext, Rule, Violation
+
+#: directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache",
+              "build", "dist"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+
+def suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed codes (``{'all'}`` for all)."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",")}
+            out[lineno] = codes
+    return out
+
+
+def package_of(path: Path) -> Optional[str]:
+    """Subpackage of ``repro`` a file belongs to (None if outside it)."""
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            rest = parts[i + 1:]
+            return rest[0] if len(rest) > 1 else ""
+    return None
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[Path] = set()
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts)))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for cand in candidates:
+            resolved = cand.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(cand)
+    return files
+
+
+def lint_source(source: str, path: str,
+                package: Optional[str] = None,
+                rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    """Lint one already-read source blob (the testable core)."""
+    ctx = FileContext(path=path, package=package)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 1, (exc.offset or 0) + 1,
+                          "DET000", f"syntax error: {exc.msg}",
+                          "fix the syntax error so the file can be linted")]
+    suppressed = suppressions(source)
+    out: List[Violation] = []
+    for rule in (rules if rules is not None else ALL_RULES):
+        if not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(tree, ctx):
+            codes = suppressed.get(violation.line)
+            if codes and ("all" in codes or violation.code in codes):
+                continue
+            out.append(violation)
+    out.sort(key=lambda v: (v.line, v.col, v.code))
+    return out
+
+
+def lint_file(path: Path,
+              rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), package_of(path), rules)
+
+
+def lint_paths(paths: Iterable[Path],
+               rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    """Lint every Python file under *paths*; violations in path order."""
+    out: List[Violation] = []
+    for path in iter_python_files(paths):
+        out.extend(lint_file(path, rules))
+    return out
+
+
+def _default_paths() -> List[Path]:
+    defaults = [p for p in (Path("src"), Path("tests")) if p.is_dir()]
+    return defaults or [Path(".")]
+
+
+def _list_rules() -> str:
+    lines = ["repro lint rules:"]
+    for rule in ALL_RULES:
+        scope = ", ".join(sorted(rule.packages)) \
+            if rule.packages is not None else "all files"
+        lines.append(f"  {rule.code}  {rule.title}  [{scope}]")
+        lines.append(f"          fix: {rule.hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism lint for the simulator codebase")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: src tests)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = args.paths or _default_paths()
+    try:
+        files = iter_python_files(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    violations: List[Violation] = []
+    for path in files:
+        violations.extend(lint_file(path))
+
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"\nrepro lint: {len(violations)} violation(s) in "
+              f"{len({v.path for v in violations})} file(s) "
+              f"({len(files)} checked)")
+        return 1
+    print(f"repro lint: clean ({len(files)} files checked)")
+    return 0

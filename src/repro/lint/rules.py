@@ -1,0 +1,420 @@
+"""Simulator-specific determinism lint rules (AST-based).
+
+Each rule targets a failure mode that corrupts *results* without failing
+any test: a wall-clock read or an unseeded RNG makes records
+irreproducible; iterating a ``set`` in a per-cycle path makes the issue
+order depend on hash seeds; a mutable default argument leaks state
+between :class:`~repro.core.pipeline.Pipeline` instances; a broad
+``except`` swallows an invariant violation; a float ``==`` in the
+metrics/energy layers silently misclassifies boundary values.
+
+Every rule carries an error code, a one-line message, and a fix hint.
+Violations can be suppressed inline with ``# repro-lint: disable=CODE``
+on the offending line (see :mod:`repro.lint.engine`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Set
+
+#: packages whose source defines simulated timing behaviour.
+TIMING_PACKAGES = frozenset(
+    {"core", "memory", "frontend", "rename", "trace", "isa"})
+
+#: packages whose code runs inside the per-cycle simulation loop.
+PER_CYCLE_PACKAGES = frozenset({"core", "rename", "frontend"})
+
+#: packages where floating-point results are compared and reported.
+FLOAT_PACKAGES = frozenset({"metrics", "energy"})
+
+#: reduction builtins whose result does not depend on iteration order —
+#: a generator fed directly into one of these may iterate a set safely.
+ORDER_INSENSITIVE_REDUCERS = frozenset(
+    {"any", "all", "sum", "min", "max", "len", "sorted", "set", "frozenset"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding: location, code, message, and fix hint."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.code} "
+                f"{self.message}\n    hint: {self.hint}")
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """What the rules know about the file being linted."""
+
+    path: str
+    #: subpackage under ``repro`` ('' for top-level modules, None when the
+    #: file is outside the package, e.g. tests/ or scripts/).
+    package: Optional[str]
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and implement
+    :meth:`check`."""
+
+    code: str = ""
+    title: str = ""
+    hint: str = ""
+    #: packages the rule applies to (None = every linted file).
+    packages: Optional[FrozenSet[str]] = None
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if self.packages is None:
+            return True
+        return ctx.package is not None and ctx.package in self.packages
+
+    def check(self, tree: ast.Module,
+              ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(ctx.path, node.lineno, node.col_offset + 1,
+                         self.code, message, self.hint)
+
+
+def _dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted name of a call target (``a.b.c`` or ``f``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# DET101: nondeterminism sources in timing-model code
+# ---------------------------------------------------------------------------
+
+class NondeterminismRule(Rule):
+    """No unseeded RNG, wall clock, or entropy source in the timing model.
+
+    ``random.Random(seed)`` instances are fine — the global ``random``
+    module functions, ``os.urandom``, ``time.time``/``perf_counter``,
+    ``datetime.now`` and friends are not: any of them makes two runs of
+    the same simulation point diverge, which breaks the content-addressed
+    result store's bit-identity contract.
+    """
+
+    code = "DET101"
+    title = "nondeterminism source in timing-model code"
+    hint = ("inject a seeded random.Random(seed) instance, or pass the "
+            "value in from the harness layer")
+    packages = TIMING_PACKAGES
+
+    #: random.<attr> calls that are allowed (seeded-instance constructor).
+    _RANDOM_OK = frozenset({"Random"})
+    _TIME_BAD = frozenset({"time", "time_ns", "perf_counter",
+                           "perf_counter_ns", "monotonic", "monotonic_ns"})
+    _DATETIME_BAD = frozenset({"now", "utcnow", "today"})
+    _UUID_BAD = frozenset({"uuid1", "uuid4"})
+
+    def _bad_call(self, name: str) -> bool:
+        head, _, tail = name.partition(".")
+        if head == "random":
+            return bool(tail) and tail not in self._RANDOM_OK
+        if name == "os.urandom":
+            return True
+        if head == "time":
+            return tail in self._TIME_BAD
+        if head in ("datetime", "date"):
+            return name.rsplit(".", 1)[-1] in self._DATETIME_BAD
+        if head == "secrets":
+            return bool(tail)
+        if head == "uuid":
+            return tail in self._UUID_BAD
+        return False
+
+    def check(self, tree: ast.Module,
+              ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = _dotted_name(node.func)
+                if name and self._bad_call(name):
+                    yield self.violation(
+                        ctx, node,
+                        f"call to nondeterministic `{name}()` reachable "
+                        f"from the timing model")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                mod = node.module or ""
+                for alias in node.names:
+                    if self._bad_call(f"{mod}.{alias.name}") or \
+                            mod == "secrets":
+                        yield self.violation(
+                            ctx, node,
+                            f"import of nondeterministic "
+                            f"`{mod}.{alias.name}` in timing-model code")
+
+
+# ---------------------------------------------------------------------------
+# DET102: unordered iteration in per-cycle paths
+# ---------------------------------------------------------------------------
+
+class UnorderedIterationRule(Rule):
+    """No bare iteration over ``set``s or ``dict`` views in per-cycle code.
+
+    Iteration order over a set depends on the hash seed and insertion
+    history; a per-cycle loop (issue select, squash walk, retire scan)
+    that visits candidates in set order produces schedules that vary
+    between processes.  Wrap the iterable in ``sorted(...)`` or feed the
+    generator straight into an order-insensitive reduction (``any``,
+    ``all``, ``sum``, ``min``, ``max``, ``len``, ``set``, ``sorted``).
+    """
+
+    code = "DET102"
+    title = "unordered iteration in a per-cycle path"
+    hint = ("wrap the iterable in sorted(...), or reduce it with an "
+            "order-insensitive builtin (any/all/sum/min/max/len)")
+    packages = PER_CYCLE_PACKAGES
+
+    _VIEW_METHODS = frozenset({"values", "keys", "items"})
+
+    @staticmethod
+    def _set_attrs(tree: ast.Module) -> Set[str]:
+        """Attribute names assigned a set anywhere in the module
+        (``self.x = set()`` / ``self.x = {...}``)."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("set", "frozenset"))
+            if not is_set:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and \
+                        isinstance(target.value, ast.Name) and \
+                        target.value.id == "self":
+                    names.add(target.attr)
+                elif isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    def _unordered(self, node: ast.AST, set_attrs: Set[str]) -> Optional[str]:
+        """Describe why iterating *node* is unordered (None = it isn't)."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and \
+                    node.func.id in ("set", "frozenset"):
+                return f"a `{node.func.id}()` value"
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in self._VIEW_METHODS:
+                return f"a `.{node.func.attr}()` view"
+        if isinstance(node, ast.Attribute) and node.attr in set_attrs:
+            return f"set-typed attribute `{node.attr}`"
+        if isinstance(node, ast.Name) and node.id in set_attrs:
+            return f"set-typed variable `{node.id}`"
+        return None
+
+    @staticmethod
+    def _exempt_comprehensions(tree: ast.Module) -> Set[int]:
+        """ids of comprehensions fed directly into order-insensitive
+        reductions — their iteration order cannot affect the result."""
+        exempt: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id in ORDER_INSENSITIVE_REDUCERS:
+                for arg in node.args:
+                    if isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                        ast.SetComp)):
+                        exempt.add(id(arg))
+        return exempt
+
+    def check(self, tree: ast.Module,
+              ctx: FileContext) -> Iterator[Violation]:
+        set_attrs = self._set_attrs(tree)
+        exempt = self._exempt_comprehensions(tree)
+        for node in ast.walk(tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.GeneratorExp, ast.ListComp,
+                                   ast.SetComp, ast.DictComp)):
+                if id(node) in exempt:
+                    continue
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                why = self._unordered(it, set_attrs)
+                if why is not None:
+                    yield self.violation(
+                        ctx, it,
+                        f"iteration over {why} in a per-cycle path "
+                        f"(order depends on hashing)")
+
+
+# ---------------------------------------------------------------------------
+# DET103: mutable default arguments
+# ---------------------------------------------------------------------------
+
+class MutableDefaultRule(Rule):
+    """No mutable default arguments anywhere.
+
+    A ``def f(log=[])`` default is shared across *every* call and every
+    :class:`Pipeline` instance — state leaks silently between simulation
+    points and between pool workers' warm processes.
+    """
+
+    code = "DET103"
+    title = "mutable default argument"
+    hint = "default to None and construct the container inside the function"
+
+    _FACTORY_CALLS = frozenset({"list", "dict", "set", "bytearray",
+                                "deque", "defaultdict", "OrderedDict",
+                                "Counter"})
+
+    def _mutable(self, node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            return name.rsplit(".", 1)[-1] in self._FACTORY_CALLS
+        return False
+
+    def check(self, tree: ast.Module,
+              ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                args = node.args
+                defaults = list(args.defaults) + list(args.kw_defaults)
+                for default in defaults:
+                    if self._mutable(default):
+                        name = getattr(node, "name", "<lambda>")
+                        yield self.violation(
+                            ctx, default,
+                            f"mutable default argument in `{name}` is "
+                            f"shared across calls")
+
+
+# ---------------------------------------------------------------------------
+# DET104: broad exception handlers
+# ---------------------------------------------------------------------------
+
+class BroadExceptRule(Rule):
+    """No bare/broad ``except`` outside audited corruption-tolerance sites.
+
+    ``except Exception`` around simulator code swallows the exact
+    invariant violations the sanitizer exists to surface.  Handlers that
+    re-raise (cleanup-only) are exempt; an audited corruption-tolerance
+    site (e.g. the result store's load path) is allowlisted with an
+    inline ``# repro-lint: disable=DET104``.
+    """
+
+    code = "DET104"
+    title = "bare or broad exception handler"
+    hint = ("catch the concrete errors the site can produce, or allowlist "
+            "an audited corruption-tolerance site with "
+            "`# repro-lint: disable=DET104`")
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _broad_name(self, node: Optional[ast.AST]) -> Optional[str]:
+        if node is None:
+            return "bare except"
+        if isinstance(node, ast.Name) and node.id in self._BROAD:
+            return node.id
+        if isinstance(node, ast.Tuple):
+            for elt in node.elts:
+                got = self._broad_name(elt)
+                if got is not None and got != "bare except":
+                    return got
+        return None
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(n, ast.Raise) and n.exc is None
+                   for n in ast.walk(handler))
+
+    def check(self, tree: ast.Module,
+              ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_name(node.type)
+            if broad is None or self._reraises(node):
+                continue
+            what = "bare `except:`" if broad == "bare except" \
+                else f"`except {broad}`"
+            yield self.violation(
+                ctx, node,
+                f"{what} can swallow invariant violations")
+
+
+# ---------------------------------------------------------------------------
+# DET105: float equality in metrics/energy
+# ---------------------------------------------------------------------------
+
+class FloatEqualityRule(Rule):
+    """No ``==``/``!=`` against floating-point values in metrics/energy.
+
+    STP, EDP, and the in-sequence fractions are all derived floats;
+    equality against them classifies boundary values by rounding noise.
+    """
+
+    code = "DET105"
+    title = "floating-point equality comparison"
+    hint = "compare with math.isclose(...) or an explicit tolerance"
+    packages = FLOAT_PACKAGES
+
+    def _floaty(self, node: ast.AST) -> bool:
+        """Is *node* statically known to produce a float?"""
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and node.func.id == "float":
+            return True
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._floaty(node.left) or self._floaty(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._floaty(node.operand)
+        return False
+
+    def check(self, tree: ast.Module,
+              ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq))
+                       for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(self._floaty(o) for o in operands):
+                yield self.violation(
+                    ctx, node,
+                    "float == / != comparison misclassifies boundary "
+                    "values")
+
+
+#: registry, in code order.
+ALL_RULES: List[Rule] = [
+    NondeterminismRule(),
+    UnorderedIterationRule(),
+    MutableDefaultRule(),
+    BroadExceptRule(),
+    FloatEqualityRule(),
+]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, Optional
+from typing import Deque, Iterable, List, Set
 
 
 class FreeList:
@@ -58,6 +58,42 @@ class FreeList:
             raise RuntimeError(f"{self.name}: {ident} already retained")
         self._in_use.add(ident)
         self._capacity += 1
+
+    # -- sanitizer hooks ---------------------------------------------------
+
+    @property
+    def in_use_count(self) -> int:
+        return len(self._in_use)
+
+    def free_ids(self) -> Set[int]:
+        """Snapshot of the free pool (sanitizer / test introspection)."""
+        return set(self._free)
+
+    def in_use_ids(self) -> Set[int]:
+        """Snapshot of the allocated-or-retained ids."""
+        return set(self._in_use)
+
+    def audit(self) -> List[str]:
+        """Conservation check: every id is free x-or in use, exactly once.
+
+        Returns human-readable problem descriptions (empty = healthy);
+        the sanitizer turns them into :class:`SanitizerError`\\ s.
+        """
+        problems: List[str] = []
+        free = self.free_ids()
+        if len(free) != len(self._free):
+            problems.append(f"{self.name}: duplicate ids on the free list")
+        both = free & self._in_use
+        if both:
+            problems.append(f"{self.name}: ids both free and in use: "
+                            f"{sorted(both)[:8]}")
+        total = len(free | self._in_use)
+        if total != self._capacity:
+            problems.append(
+                f"{self.name}: conservation broken — {len(self._free)} free "
+                f"+ {len(self._in_use)} in use covers {total} distinct ids, "
+                f"capacity {self._capacity}")
+        return problems
 
     def __len__(self) -> int:
         return len(self._free)

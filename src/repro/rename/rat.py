@@ -141,3 +141,33 @@ class RegisterAliasTable:
     def live_mappings(self) -> int:
         """Number of distinct PRIs currently mapped by any thread."""
         return len({pri for row in self._map for pri, _tag in row})
+
+    def mapped_ids(self) -> Tuple[set, set]:
+        """Snapshot of ``(mapped PRIs, mapped extension tags)``."""
+        pris = {pri for row in self._map for pri, _tag in row}
+        tags = {tag for row in self._map for pri, tag in row if tag != pri}
+        return pris, tags
+
+    def audit(self) -> List[str]:
+        """Sanitizer check: no architectural register may map to a freed
+        identifier, and no extension tag may be mapped twice."""
+        problems: List[str] = []
+        phys_free = self.phys_fl.free_ids()
+        ext_free = self.ext_fl.free_ids()
+        seen_tags: dict = {}
+        for tid, row in enumerate(self._map):
+            for arch, (pri, tag) in enumerate(row):
+                if pri in phys_free:
+                    problems.append(f"t{tid} r{arch}: mapped PRI {pri} is "
+                                    f"on the physical free list")
+                if tag == pri:
+                    continue
+                if tag in ext_free:
+                    problems.append(f"t{tid} r{arch}: mapped extension tag "
+                                    f"{tag} is on the extension free list")
+                if tag in seen_tags:
+                    problems.append(
+                        f"extension tag {tag} mapped twice: t{tid} r{arch} "
+                        f"and {seen_tags[tag]}")
+                seen_tags[tag] = f"t{tid} r{arch}"
+        return problems

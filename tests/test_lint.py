@@ -1,0 +1,262 @@
+"""Determinism lint: rule coverage, suppression, and repo cleanliness."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (ALL_RULES, lint_paths, lint_source, main,
+                        package_of, suppressions)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+def lint_as(source, package):
+    """Lint a source blob as if it lived in ``repro/<package>/``."""
+    return lint_source(source, f"src/repro/{package}/mod.py", package)
+
+
+# ---------------------------------------------------------------------------
+# DET101: nondeterminism sources
+# ---------------------------------------------------------------------------
+
+class TestNondeterminism:
+    def test_module_random_flagged(self):
+        src = "import random\nx = random.randint(0, 7)\n"
+        assert codes(lint_as(src, "core")) == ["DET101"]
+
+    def test_seeded_instance_allowed(self):
+        src = "import random\nrng = random.Random(7)\nx = rng.randint(0, 7)\n"
+        assert lint_as(src, "core") == []
+
+    def test_wall_clock_flagged(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert codes(lint_as(src, "memory")) == ["DET101"]
+
+    def test_urandom_and_datetime_flagged(self):
+        src = ("import os, datetime\n"
+               "e = os.urandom(8)\n"
+               "d = datetime.datetime.now()\n")
+        assert codes(lint_as(src, "frontend")) == ["DET101", "DET101"]
+
+    def test_from_import_flagged(self):
+        src = "from time import perf_counter\n"
+        assert codes(lint_as(src, "trace")) == ["DET101"]
+
+    def test_harness_out_of_scope(self):
+        src = "import time\nt0 = time.time()\n"
+        assert lint_as(src, "harness") == []
+
+
+# ---------------------------------------------------------------------------
+# DET102: unordered iteration
+# ---------------------------------------------------------------------------
+
+class TestUnorderedIteration:
+    def test_set_attr_iteration_flagged(self):
+        src = ("class Tracker:\n"
+               "    def __init__(self):\n"
+               "        self.pending = set()\n"
+               "    def scan(self):\n"
+               "        for idx in self.pending:\n"
+               "            print(idx)\n")
+        assert codes(lint_as(src, "core")) == ["DET102"]
+
+    def test_sorted_wrapper_allowed(self):
+        src = ("class Tracker:\n"
+               "    def __init__(self):\n"
+               "        self.pending = set()\n"
+               "    def scan(self):\n"
+               "        for idx in sorted(self.pending):\n"
+               "            print(idx)\n")
+        assert lint_as(src, "core") == []
+
+    def test_dict_view_flagged(self):
+        src = "def f(d):\n    return [v + 1 for v in d.values()]\n"
+        assert codes(lint_as(src, "rename")) == ["DET102"]
+
+    def test_order_insensitive_reduction_allowed(self):
+        # the shelf's retire-bitvector assert is exactly this shape.
+        src = ("class S:\n"
+               "    def __init__(self):\n"
+               "        self.retired = set()\n"
+               "    def ok(self, n):\n"
+               "        return any(i >= n for i in self.retired)\n")
+        assert lint_as(src, "core") == []
+
+    def test_set_call_iteration_flagged(self):
+        src = "def f(xs):\n    for x in set(xs):\n        print(x)\n"
+        assert codes(lint_as(src, "frontend")) == ["DET102"]
+
+    def test_out_of_scope_package_allowed(self):
+        src = "def f(d):\n    return [v for v in d.values()]\n"
+        assert lint_as(src, "metrics") == []
+
+
+# ---------------------------------------------------------------------------
+# DET103: mutable defaults
+# ---------------------------------------------------------------------------
+
+class TestMutableDefault:
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()", "dict()",
+                                         "deque()"])
+    def test_flagged(self, default):
+        src = f"def f(log={default}):\n    return log\n"
+        assert codes(lint_as(src, "harness")) == ["DET103"]
+
+    def test_none_default_allowed(self):
+        src = "def f(log=None):\n    return log or []\n"
+        assert lint_as(src, "harness") == []
+
+    def test_kwonly_default_flagged(self):
+        src = "def f(*, log=[]):\n    return log\n"
+        assert codes(lint_as(src, "core")) == ["DET103"]
+
+
+# ---------------------------------------------------------------------------
+# DET104: broad except
+# ---------------------------------------------------------------------------
+
+class TestBroadExcept:
+    def test_bare_except_flagged(self):
+        src = "try:\n    f()\nexcept:\n    pass\n"
+        assert codes(lint_as(src, "harness")) == ["DET104"]
+
+    def test_except_exception_flagged(self):
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert codes(lint_as(src, "core")) == ["DET104"]
+
+    def test_tuple_with_broad_flagged(self):
+        src = "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n"
+        assert codes(lint_as(src, "core")) == ["DET104"]
+
+    def test_narrow_tuple_allowed(self):
+        src = "try:\n    f()\nexcept (OSError, ValueError):\n    pass\n"
+        assert lint_as(src, "core") == []
+
+    def test_reraising_cleanup_allowed(self):
+        src = ("try:\n"
+               "    f()\n"
+               "except BaseException:\n"
+               "    cleanup()\n"
+               "    raise\n")
+        assert lint_as(src, "harness") == []
+
+    def test_allowlisted_site_suppressed(self):
+        src = ("try:\n"
+               "    f()\n"
+               "except Exception:  # repro-lint: disable=DET104\n"
+               "    pass\n")
+        assert lint_as(src, "harness") == []
+
+
+# ---------------------------------------------------------------------------
+# DET105: float equality
+# ---------------------------------------------------------------------------
+
+class TestFloatEquality:
+    def test_float_literal_flagged(self):
+        src = "def f(x):\n    return x == 0.5\n"
+        assert codes(lint_as(src, "metrics")) == ["DET105"]
+
+    def test_division_result_flagged(self):
+        src = "def f(a, b, c):\n    return a / b == c\n"
+        assert codes(lint_as(src, "energy")) == ["DET105"]
+
+    def test_int_equality_allowed(self):
+        src = "def f(x):\n    return x == 3\n"
+        assert lint_as(src, "metrics") == []
+
+    def test_core_out_of_scope(self):
+        src = "def f(x):\n    return x == 0.5\n"
+        assert lint_as(src, "core") == []
+
+
+# ---------------------------------------------------------------------------
+# engine mechanics
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_suppression_parsing(self):
+        src = ("x = 1  # repro-lint: disable=DET101\n"
+               "y = 2  # repro-lint: disable=DET102, DET104\n"
+               "z = 3  # repro-lint: disable=all\n")
+        got = suppressions(src)
+        assert got == {1: {"DET101"}, 2: {"DET102", "DET104"},
+                       3: {"all"}}
+
+    def test_disable_all_suppresses(self):
+        src = "def f(log=[]):  # repro-lint: disable=all\n    return log\n"
+        assert lint_as(src, "core") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "def f(log=[]):  # repro-lint: disable=DET101\n    return log\n"
+        assert codes(lint_as(src, "core")) == ["DET103"]
+
+    def test_syntax_error_reported_not_raised(self):
+        got = lint_source("def f(:\n", "bad.py", "core")
+        assert codes(got) == ["DET000"]
+
+    def test_package_of(self):
+        assert package_of(Path("src/repro/core/pipeline.py")) == "core"
+        assert package_of(Path("src/repro/__main__.py")) == ""
+        assert package_of(Path("tests/test_lint.py")) is None
+
+    def test_violation_format_has_location_and_hint(self):
+        src = "def f(log=[]):\n    return log\n"
+        v = lint_as(src, "core")[0]
+        text = v.format()
+        assert "mod.py:1:" in text
+        assert "DET103" in text
+        assert "hint:" in text
+
+    def test_rule_codes_unique(self):
+        all_codes = [r.code for r in ALL_RULES]
+        assert len(all_codes) == len(set(all_codes))
+
+    def test_fixture_file_trips_every_rule(self, tmp_path):
+        """A fixture with all five violations yields all five codes and a
+        nonzero exit through the CLI entry point."""
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        fixture = pkg / "broken.py"
+        fixture.write_text(
+            "import random\n"
+            "import time\n"
+            "x = random.random()\n"
+            "t = time.time()\n"
+            "def f(log=[]):\n"
+            "    try:\n"
+            "        for i in {1, 2}:\n"
+            "            log.append(i)\n"
+            "    except Exception:\n"
+            "        pass\n"
+            "    return log\n")
+        metrics = tmp_path / "src" / "repro" / "metrics"
+        metrics.mkdir(parents=True)
+        (metrics / "m.py").write_text("def g(x):\n    return x == 1.0\n")
+        got = lint_paths([tmp_path])
+        assert set(codes(got)) == {"DET101", "DET102", "DET103",
+                                   "DET104", "DET105"}
+        assert main([str(tmp_path)]) == 1
+
+    def test_cli_clean_exit(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_missing_path(self, capsys):
+        assert main(["definitely-not-a-path-xyz"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# the repo itself must be clean (the lint gate CI enforces)
+# ---------------------------------------------------------------------------
+
+class TestRepoClean:
+    def test_src_and_tests_lint_clean(self):
+        violations = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+        assert violations == [], "\n".join(v.format() for v in violations)

@@ -1,0 +1,221 @@
+"""Microarchitectural sanitizer: clean-run, bit-identity, and
+seeded-bug mutation tests.
+
+The mutation tests deliberately corrupt one structure — a double-freed
+physical register, a reordered shelf FIFO, a skipped SSR merge — and
+assert the sanitizer reports the violation with the right structure,
+thread, and cycle.
+"""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.core import Pipeline, SanitizerError, simulate
+from repro.core.sanitizer import sanitize_enabled
+from repro.harness.configs import base64_config, shelf_config
+from repro.trace import generate
+
+
+def sanitized(config):
+    return replace(config, sanitize=True)
+
+
+def shelf_pipe(threads=2, length=400, **kw):
+    cfg = sanitized(shelf_config(threads, **kw))
+    traces = [generate("mixed.int", length, seed=i) for i in range(threads)]
+    return Pipeline(cfg, traces)
+
+
+def step_until(pipe, predicate, limit=5000):
+    """Advance the pipeline until *predicate* holds; fail on timeout."""
+    for _ in range(limit):
+        if predicate(pipe):
+            return
+        pipe.step()
+    pytest.fail("predicate never became true")
+
+
+# ---------------------------------------------------------------------------
+# enablement
+# ---------------------------------------------------------------------------
+
+class TestEnablement:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        tr = generate("mixed.int", 50, seed=0)
+        assert Pipeline(base64_config(1), [tr]).sanitizer is None
+
+    def test_config_flag_enables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        tr = generate("mixed.int", 50, seed=0)
+        pipe = Pipeline(sanitized(base64_config(1)), [tr])
+        assert pipe.sanitizer is not None
+
+    @pytest.mark.parametrize("value,expect", [
+        ("1", True), ("on", True), ("0", False), ("off", False),
+        ("", False),
+    ])
+    def test_env_values(self, monkeypatch, value, expect):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitize_enabled() is expect
+
+
+# ---------------------------------------------------------------------------
+# clean runs
+# ---------------------------------------------------------------------------
+
+class TestCleanRuns:
+    def test_baseline_run_passes_with_drain(self):
+        cfg = sanitized(base64_config(1))
+        tr = generate("mixed.int", 400, seed=0)
+        pipe = Pipeline(cfg, [tr])
+        res = pipe.run(stop="all")
+        assert res.threads[0].retired == 400
+        assert pipe.sanitizer.checks > 0
+
+    def test_shelf_smt_run_passes(self):
+        pipe = shelf_pipe(threads=2)
+        pipe.run(stop="first")
+        assert pipe.sanitizer.checks > 0
+
+    def test_tso_shelf_run_passes(self):
+        cfg = replace(sanitized(shelf_config(2)), memory_model="tso")
+        traces = [generate("mixed.store", 300, seed=i) for i in range(2)]
+        Pipeline(cfg, traces).run(stop="first")
+
+    def test_results_bit_identical_under_sanitizer(self):
+        """The sanitizer observes, never steers: records match bit for
+        bit (the property CI's REPRO_SANITIZE=1 smoke re-run protects)."""
+        traces = [generate("mixed.int", 300, seed=i) for i in range(2)]
+        plain = Pipeline(shelf_config(2), traces).run(stop="first")
+        checked = Pipeline(sanitized(shelf_config(2)), traces).run(
+            stop="first")
+        assert pickle.dumps(plain) == pickle.dumps(checked)
+
+
+# ---------------------------------------------------------------------------
+# seeded-bug mutations
+# ---------------------------------------------------------------------------
+
+class TestMutations:
+    def test_double_freed_physreg_reported(self):
+        """A physical register pushed back to the free list while still
+        allocated must be called out as a phys free-list violation."""
+        pipe = shelf_pipe()
+        step_until(pipe, lambda p: any(t.in_flight for t in p.threads))
+        victim = sorted(pipe.phys_fl.in_use_ids())[0]
+        pipe.phys_fl._free.append(victim)  # the double-free lands here
+        fired = pipe.cycle
+        with pytest.raises(SanitizerError) as exc:
+            pipe.step()
+        err = exc.value
+        assert err.structure == "freelist:phys"
+        assert err.thread is None
+        assert err.cycle == fired
+        assert str(victim) in str(err)
+
+    def test_leaked_physreg_reported(self):
+        """An id allocated but referenced by nothing is a leak."""
+        pipe = shelf_pipe()
+        step_until(pipe, lambda p: any(t.in_flight for t in p.threads))
+        leaked = pipe.phys_fl.allocate()  # never recorded anywhere
+        with pytest.raises(SanitizerError) as exc:
+            pipe.step()
+        assert exc.value.structure == "freelist:phys"
+        assert "leak" in str(exc.value)
+        assert str(leaked) in str(exc.value)
+
+    def test_reordered_shelf_issue_reported(self):
+        """Swapping two shelf FIFO occupants breaks program order; the
+        sanitizer must name the shelf and the owning thread."""
+        pipe = shelf_pipe(steering="shelf-only")
+        step_until(pipe, lambda p: any(t.shelf.occupancy >= 2
+                                       for t in p.threads))
+        thread = next(t for t in pipe.threads if t.shelf.occupancy >= 2)
+        fifo = thread.shelf.fifo
+        fifo[0], fifo[1] = fifo[1], fifo[0]
+        fired = pipe.cycle
+        with pytest.raises(SanitizerError) as exc:
+            pipe.step()
+        err = exc.value
+        assert err.structure == "shelf"
+        assert err.thread == thread.tid
+        assert err.cycle >= fired
+
+    def test_skipped_ssr_merge_reported(self):
+        """A run-boundary merge that fails to raise the shelf SSR to the
+        IQ SSR leaves elder IQ speculation untracked."""
+        pipe = shelf_pipe()
+        thread = pipe.threads[1]
+        thread.ssr.iq_ssr = 7     # pending IQ speculation...
+        thread.ssr.shelf_ssr = 2  # ...that the skipped merge never copied
+        with pytest.raises(SanitizerError) as exc:
+            pipe.sanitizer.check_ssr_merge(thread, cycle=123)
+        err = exc.value
+        assert err.structure == "ssr"
+        assert err.thread == 1
+        assert err.cycle == 123
+        assert "merge" in str(err)
+
+    def test_correct_ssr_merge_passes(self):
+        pipe = shelf_pipe()
+        thread = pipe.threads[0]
+        thread.ssr.iq_ssr = 7
+        thread.ssr.copy_to_shelf()
+        pipe.sanitizer.check_ssr_merge(thread, cycle=5)  # no raise
+
+    def test_premature_scoreboard_ready_reported(self):
+        """Marking an un-issued writer's tag ready wakes consumers on a
+        value that does not exist yet."""
+        pipe = shelf_pipe()
+        step_until(pipe, lambda p: any(
+            not d.issued and not d.squashed and d.dest_tag is not None
+            for t in p.threads for d in t.in_flight))
+        dyn = next(d for t in pipe.threads for d in t.in_flight
+                   if not d.issued and not d.squashed
+                   and d.dest_tag is not None)
+        pipe.scoreboard.set_ready(dyn.dest_tag, 0)
+        with pytest.raises(SanitizerError) as exc:
+            pipe.sanitizer.check_cycle(pipe.cycle)
+        assert exc.value.structure == "scoreboard"
+        assert exc.value.thread == dyn.tid
+
+    def test_lsq_age_disorder_reported(self):
+        """A mis-ordered SQ breaks elder-entry disambiguation scans."""
+        traces = [generate("mixed.store", 300, seed=i) for i in range(2)]
+        pipe = Pipeline(sanitized(shelf_config(2)), traces)
+        step_until(pipe, lambda p: any(len(t.lsq.sq) >= 2
+                                       for t in p.threads))
+        thread = next(t for t in pipe.threads if len(t.lsq.sq) >= 2)
+        thread.lsq.sq.reverse()
+        with pytest.raises(SanitizerError) as exc:
+            pipe.step()
+        assert exc.value.structure == "lsq"
+        assert exc.value.thread == thread.tid
+
+    def test_error_message_names_location(self):
+        err = SanitizerError("shelf", 3, 42, "FIFO order broken")
+        assert "shelf" in str(err)
+        assert "t3" in str(err)
+        assert "42" in str(err)
+        assert (err.structure, err.thread, err.cycle) == ("shelf", 3, 42)
+
+
+# ---------------------------------------------------------------------------
+# drain
+# ---------------------------------------------------------------------------
+
+class TestDrain:
+    def test_drain_check_runs_on_completion(self):
+        cfg = sanitized(shelf_config(1))
+        tr = generate("mixed.int", 200, seed=0)
+        pipe = Pipeline(cfg, [tr])
+        pipe.run(stop="all")  # check_drain fires internally; no raise
+
+    def test_simulate_helper_respects_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        tr = generate("mixed.int", 150, seed=0)
+        res = simulate(base64_config(1), [tr], stop="all")
+        assert res.threads[0].retired == 150

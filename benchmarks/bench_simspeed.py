@@ -1,0 +1,93 @@
+"""Simulation-speed bench: event-driven loop vs per-cycle reference.
+
+Times the same single-thread workloads through both cycle loops (see
+``docs/performance.md``):
+
+* ``pchase.mem`` — a miss-dominated pointer chase.  Nearly every cycle
+  is a DRAM stall, so the event horizon jumps almost all of them and the
+  fast path must be at least twice as fast as the polling reference
+  (in practice well over 10x).
+* ``ilp.int8`` — dense independent ALU work.  There are almost no idle
+  windows to skip, so this bounds the bookkeeping overhead the wakeup
+  lists and horizon queries add to a busy pipeline.
+
+Traces are generated once and shared between both runs — trace synthesis
+is pure Python and would otherwise swamp the loop timing.  Both runs
+must stay bit-identical (same pickled :class:`SimResult`).
+
+Writes ``BENCH_simspeed.json`` at the repo root with wall-clock times,
+speedups, and fast-forward jump statistics.
+"""
+
+import json
+import pickle
+import time
+from pathlib import Path
+
+from repro.core import CoreConfig, Pipeline
+from repro.trace import generate
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: (workload, kind) pairs: one latency-bound case the fast path must win
+#: decisively, one compute-bound case that measures pure overhead.
+_CASES = (("pchase.mem", "latency-bound"), ("ilp.int8", "compute-bound"))
+
+#: Required speedup on the latency-bound workload (ISSUE acceptance bar).
+MIN_LATENCY_SPEEDUP = 2.0
+
+
+def _timed_run(cfg, traces, fastforward):
+    pipe = Pipeline(cfg, traces, fastforward=fastforward)
+    t0 = time.perf_counter()
+    result = pipe.run(stop="all")
+    return time.perf_counter() - t0, pipe, result
+
+
+def test_simspeed_fast_forward(benchmark, scale):
+    length = scale.instructions_per_thread
+    cfg = CoreConfig(num_threads=1)
+    report = {"scale": scale.name, "instructions_per_thread": length,
+              "workloads": {}}
+
+    for name, kind in _CASES:
+        traces = [generate(name, length, seed=0)]
+        ref_s, ref, r_ref = _timed_run(cfg, traces, fastforward=False)
+        if name == _CASES[0][0]:
+            fast_holder = {}
+
+            def fast_run():
+                fast_holder["out"] = _timed_run(cfg, traces,
+                                                fastforward=True)
+                return fast_holder["out"][2]
+
+            benchmark.pedantic(fast_run, rounds=1, iterations=1)
+            fast_s, fast, r_fast = fast_holder["out"]
+        else:
+            fast_s, fast, r_fast = _timed_run(cfg, traces, fastforward=True)
+
+        assert pickle.dumps(r_fast) == pickle.dumps(r_ref), \
+            f"{name}: fast-forward result diverged from reference"
+        speedup = ref_s / fast_s if fast_s else float("inf")
+        report["workloads"][name] = {
+            "kind": kind,
+            "cycles": fast.cycle,
+            "reference_s": round(ref_s, 4),
+            "fastforward_s": round(fast_s, 4),
+            "speedup": round(speedup, 2),
+            "ff_jumps": fast.ff_jumps,
+            "ff_skipped_cycles": fast.ff_skipped_cycles,
+            "skipped_fraction": round(
+                fast.ff_skipped_cycles / max(1, fast.cycle), 4),
+        }
+        print(f"\n{name} ({kind}): ref {ref_s:.3f}s vs fast {fast_s:.3f}s "
+              f"({speedup:.1f}x), skipped "
+              f"{fast.ff_skipped_cycles}/{fast.cycle} cycles")
+
+    (REPO_ROOT / "BENCH_simspeed.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    latency = report["workloads"][_CASES[0][0]]
+    assert latency["speedup"] >= MIN_LATENCY_SPEEDUP, \
+        f"latency-bound speedup {latency['speedup']}x below " \
+        f"{MIN_LATENCY_SPEEDUP}x bar"

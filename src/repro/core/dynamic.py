@@ -31,7 +31,7 @@ class DynInstr:
         "mem_latency", "forwarded_from", "forwarded_seq",
         "speculative_load", "retry_after",
         "lq_slot", "sq_slot", "waiting_store",
-        "classified_in_sequence",
+        "classified_in_sequence", "wake_waits",
     )
 
     def __init__(self, tid: int, seq: int, gseq: int,
@@ -87,6 +87,10 @@ class DynInstr:
 
         # Filled by the classifier (None until classified).
         self.classified_in_sequence: Optional[bool] = None
+
+        # Fast-forward wakeup: unready source occurrences still pending
+        # at IQ dispatch (scoreboard waiter-list registrations).
+        self.wake_waits = 0
 
     # -- convenience --------------------------------------------------------
 

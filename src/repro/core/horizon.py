@@ -1,0 +1,276 @@
+"""Next-event horizon for the event-driven cycle loop.
+
+The pipeline's reference loop polls every structure every cycle.  During a
+long-latency stall (a DRAM miss under a pointer chase, an I-fetch miss,
+an SSR drain) nothing can fetch, dispatch, issue, or retire for hundreds
+of cycles, yet the poll still burns wall-clock time re-scanning the IQ
+and the shelf heads.  :class:`EventHorizon` answers the question the
+fast-forward loop needs: *what is the first future cycle at which any
+stage could possibly act?*
+
+The contract is asymmetric by design:
+
+* the horizon may be **early** — landing on a cycle where nothing
+  happens just simulates that cycle normally (the reference would have
+  stepped it anyway), costing speed but never correctness;
+* the horizon must never be **late** — every cycle it skips must be one
+  the reference implementation would have stepped through without any
+  state change beyond the per-cycle ticks (SSR/RCT countdowns, occupancy
+  sums, round-robin rotation), which :meth:`Pipeline._fast_forward`
+  applies in one exact batch.
+
+Whenever a stage could act *this* cycle — or would perform a side effect
+while merely checking (the run-boundary IQ→shelf SSR copy, a first-time
+steering decision) — :meth:`next_event` returns the current cycle and
+the pipeline takes an ordinary :meth:`~repro.core.pipeline.Pipeline.step`.
+
+``REPRO_FASTFORWARD=0`` disables the whole mechanism, keeping the
+polling loop as the executable reference; results are bit-identical
+either way (see ``docs/performance.md`` and
+``tests/test_fastforward_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import TYPE_CHECKING
+
+from repro.core.scoreboard import UNWRITTEN
+from repro.isa.opcodes import OpClass
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.dynamic import DynInstr
+    from repro.core.pipeline import Pipeline
+    from repro.core.thread_context import ThreadContext
+
+#: "No scheduled event" sentinel — beyond any reachable cycle count.
+INFINITY = 1 << 62
+
+#: ``$REPRO_FASTFORWARD`` values that disable fast-forward.
+_OFF = {"0", "off", "false", "no"}
+
+
+def fastforward_enabled() -> bool:
+    """Is event-driven fast-forward requested (default: yes)?
+
+    ``REPRO_FASTFORWARD=0`` selects the per-cycle polling loop — the
+    reference implementation fast-forward must stay bit-identical to.
+    Deliberately *not* a :class:`~repro.core.config.CoreConfig` field:
+    the mode must not enter result-store digests, exactly like
+    ``REPRO_SANITIZE``.
+    """
+    return os.environ.get("REPRO_FASTFORWARD", "1").strip().lower() \
+        not in _OFF
+
+
+class EventHorizon:
+    """Aggregates per-structure next-event queries for one pipeline."""
+
+    __slots__ = ("pipe",)
+
+    def __init__(self, pipeline: "Pipeline") -> None:
+        self.pipe = pipeline
+
+    # ------------------------------------------------------------------
+
+    def next_event(self, cycle: int) -> int:
+        """First cycle >= *cycle* at which any stage could act.
+
+        Returns *cycle* itself when the pipeline is active right now (the
+        caller must take a normal step); :data:`INFINITY` when nothing is
+        scheduled at all (a true deadlock — the caller's deadlock guard
+        bounds the jump).
+        """
+        pipe = self.pipe
+        horizon = INFINITY
+
+        # Writeback: the completion heap is the master event queue.
+        heap = pipe._completions
+        if heap:
+            due = heap[0][0]
+            if due <= cycle:
+                return cycle
+            horizon = due
+
+        for thread in pipe.threads:
+            # Held shelf writebacks and store-buffer drains re-run every
+            # cycle and touch the cache hierarchy: never skip past them.
+            if thread.shelf_wb_pending:
+                return cycle
+            if thread.lsq.store_buffer.occupancy:
+                return cycle
+            # A completed ROB head retires (or re-polls its retire gates).
+            if thread.rob and thread.rob[0].completed:
+                return cycle
+
+        nxt = self._dispatch_horizon(cycle)
+        if nxt <= cycle:
+            return cycle
+        if nxt < horizon:
+            horizon = nxt
+
+        nxt = self._fetch_horizon(cycle)
+        if nxt <= cycle:
+            return cycle
+        if nxt < horizon:
+            horizon = nxt
+
+        nxt = self._issue_horizon(cycle)
+        if nxt <= cycle:
+            return cycle
+        if nxt < horizon:
+            horizon = nxt
+
+        # Outstanding cache fills (conservative: fills surface through the
+        # completion heap anyway, but an early landing is always safe).
+        nxt = pipe.hierarchy.next_fill_event(cycle)
+        if nxt < horizon:
+            horizon = nxt
+        return horizon
+
+    # ------------------------------------------------------------------
+    # per-stage components
+    # ------------------------------------------------------------------
+
+    def _dispatch_horizon(self, cycle: int) -> int:
+        pipe = self.pipe
+        horizon = INFINITY
+        for thread in pipe.threads:
+            if not thread.frontend:
+                continue
+            head = thread.frontend[0]
+            ready = head.frontend_ready
+            if ready > cycle:
+                if ready < horizon:
+                    horizon = ready
+                continue
+            if head.op is OpClass.BARRIER and thread.in_flight:
+                continue  # drains via retire events
+            if head.steer_cached is None:
+                # First dispatch attempt runs the steering policy, which
+                # mutates predictor state — that cycle must be simulated.
+                return cycle
+            if not self._dispatch_blocked(thread, head):
+                return cycle
+            # Structurally blocked: ROB/IQ/shelf/free-list/LSQ space frees
+            # only on retire or issue events (always active cycles).
+        return horizon
+
+    def _dispatch_blocked(self, thread: "ThreadContext",
+                          dyn: "DynInstr") -> bool:
+        """Side-effect-free replica of :meth:`Pipeline._dispatch_one`'s
+        structural gating for a steer-cached instruction."""
+        pipe = self.pipe
+        if dyn.steer_cached:
+            if pipe._shelf_path_free(thread, dyn):
+                return False
+            if pipe.steering.name == "shelf-only":
+                return True  # no IQ fallback under shelf-only steering
+            return not pipe._iq_path_free(thread, dyn)
+        return not pipe._iq_path_free(thread, dyn)
+
+    def _fetch_horizon(self, cycle: int) -> int:
+        """Mirror of :meth:`ThreadContext.fetchable`, split into now /
+        at-gate-expiry / event-gated."""
+        horizon = INFINITY
+        for thread in self.pipe.threads:
+            if thread.trace_done or thread.pending_branch is not None:
+                continue  # resolves via branch completion (an event)
+            if len(thread.frontend) >= \
+                    thread.config.frontend_buffer_per_thread:
+                continue  # space frees at dispatch (an active cycle)
+            blocked = thread.fetch_blocked_until
+            if blocked <= cycle:
+                return cycle
+            if blocked < horizon:
+                horizon = blocked
+        return horizon
+
+    def _issue_horizon(self, cycle: int) -> int:
+        pipe = self.pipe
+        horizon = INFINITY
+
+        # Wakeup-scheduled IQ entries not yet data-ready.
+        heap = pipe._ready_heap
+        while heap and (heap[0][2].squashed or heap[0][2].issued):
+            heapq.heappop(heap)
+        if heap:
+            sched = heap[0][0]
+            if sched <= cycle:
+                return cycle
+            if sched < horizon:
+                horizon = sched
+
+        # Data-ready IQ entries held by per-entry gates.
+        fu = pipe.fu
+        for dyn in pipe._ready_iq:
+            if dyn.squashed or dyn.issued:
+                continue
+            at = cycle
+            if dyn.is_load:
+                waiting = dyn.waiting_store
+                if waiting is not None and not (waiting.executed
+                                                or waiting.squashed):
+                    continue  # store-set gate: resolves at store writeback
+                if dyn.retry_after > at:
+                    at = dyn.retry_after
+            free = fu.next_free(dyn.op)
+            if free > at:
+                at = free
+            if at <= cycle:
+                return cycle
+            if at < horizon:
+                horizon = at
+
+        for thread in pipe.threads:
+            at = self._shelf_head_horizon(thread, cycle)
+            if at <= cycle:
+                return cycle
+            if at < horizon:
+                horizon = at
+        return horizon
+
+    def _shelf_head_horizon(self, thread: "ThreadContext",
+                            cycle: int) -> int:
+        """Earliest cycle the shelf head could pass
+        :meth:`Pipeline._shelf_eligible` (INFINITY when event-gated).
+
+        ``issue_tracker.head`` stands in for the start-of-cycle snapshot:
+        no issues happen during an idle stretch, so the two agree at the
+        landing cycle under either same-cycle-issue assumption.
+        """
+        pipe = self.pipe
+        head = thread.shelf.head
+        if head is None:
+            return INFINITY
+        if thread.issue_tracker.head <= head.last_iq_rob_idx:
+            return INFINITY  # in-order gate: opens on IQ issues (events)
+        if head.first_in_run and not head.ssr_copied:
+            # The reference performs the run-boundary IQ→shelf SSR copy
+            # the first cycle the gate passes — a side effect of checking
+            # eligibility.  Never skip that cycle.
+            return cycle
+        scoreboard = pipe.scoreboard
+        at = scoreboard.earliest_issue(head.src_tags)
+        if head.prev_tag is not None:
+            waw = scoreboard.ready_at(head.prev_tag)
+            if waw > at:
+                at = waw
+        if at >= UNWRITTEN:
+            return INFINITY  # producer unissued: wakes via issue events
+        ssr_wait = cycle + thread.ssr.cycles_until_shelf_issue(head.latency)
+        if ssr_wait > at:
+            at = ssr_wait
+        if head.is_load:
+            if head.retry_after > at:
+                at = head.retry_after
+            if thread.lsq.has_unexecuted_elder_store(head.gseq):
+                return INFINITY  # elder store executes at writeback
+        if head.is_store and not thread.lsq.store_buffer.can_accept(
+                head.instr.mem_addr):
+            return INFINITY  # buffer space frees on drains (active cycles)
+        free = pipe.fu.next_free(head.op)
+        if free > at:
+            at = free
+        return at if at > cycle else cycle

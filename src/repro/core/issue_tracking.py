@@ -17,6 +17,8 @@ from __future__ import annotations
 class IssueTracker:
     """Oldest-unissued-IQ-instruction tracker for one thread."""
 
+    __slots__ = ("tail", "head", "_unissued")
+
     def __init__(self) -> None:
         self.tail = 0          #: next index to allocate
         self.head = 0          #: oldest index not yet issued

@@ -36,6 +36,9 @@ class StoreBuffer:
     and drains to the cache strictly in order.
     """
 
+    __slots__ = ("capacity", "line_shift", "coalesce", "_entries",
+                 "_lines_present", "_token", "coalesced", "inserted")
+
     def __init__(self, capacity_lines: int, line_shift: int = 6,
                  coalesce: bool = True) -> None:
         self.capacity = capacity_lines
@@ -116,6 +119,10 @@ class StoreBuffer:
 
 class LoadStoreQueues:
     """One thread's LQ + SQ + store buffer."""
+
+    __slots__ = ("lq_capacity", "sq_capacity", "lq", "sq", "store_buffer",
+                 "all_stores", "all_loads", "lq_search_events",
+                 "sq_search_events")
 
     def __init__(self, lq_capacity: int, sq_capacity: int,
                  store_buffer_lines: int, line_shift: int = 6,

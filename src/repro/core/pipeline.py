@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import CoreConfig
 from repro.core.dynamic import DynInstr
+from repro.core.horizon import EventHorizon, fastforward_enabled
 from repro.core.stats import EventCounts, SimResult, ThreadResult
 from repro.core.sanitizer import Sanitizer, sanitize_enabled
 from repro.core.scoreboard import Scoreboard
@@ -50,7 +51,8 @@ class Pipeline:
 
     def __init__(self, config: CoreConfig, traces: Sequence[Trace],
                  steering: Optional[SteeringPolicy] = None,
-                 record_schedule: bool = False) -> None:
+                 record_schedule: bool = False,
+                 fastforward: Optional[bool] = None) -> None:
         if len(traces) != config.num_threads:
             raise ValueError(f"{config.num_threads} threads need "
                              f"{config.num_threads} traces, got {len(traces)}")
@@ -89,8 +91,19 @@ class Pipeline:
         self._completions: List[Tuple[int, int, DynInstr]] = []  # heap
 
         self.events = EventCounts()
-        self._occ_sums = {"rob": 0, "iq": 0, "shelf": 0, "lq": 0, "sq": 0}
+        # Per-cycle occupancy accumulators (plain ints: the _tick hot path
+        # and fast-forward batch updates both touch them every cycle).
+        self._occ_iq = 0
+        self._occ_rob = 0
+        self._occ_shelf = 0
+        self._occ_lq = 0
+        self._occ_sq = 0
         self._last_retire_cycle = 0
+        #: last cycle any instruction was fetched, dispatched, or issued —
+        #: the deadlock detector's forward-progress signal alongside
+        #: retirement (all three only change on simulated, never on
+        #: fast-forwarded, cycles, so the two loop modes agree).
+        self._last_activity_cycle = 0
         self._total_retired = 0
         #: optional (cycle, tid, seq, to_shelf) issue log for tests/analysis.
         self.record_schedule = record_schedule
@@ -103,6 +116,21 @@ class Pipeline:
         #: observational only — sanitized runs stay bit-identical.
         self.sanitizer: Optional[Sanitizer] = \
             Sanitizer(self) if sanitize_enabled(config) else None
+
+        #: event-driven fast-forward (default on; $REPRO_FASTFORWARD=0 or
+        #: fastforward=False selects the per-cycle polling reference loop).
+        #: Results are bit-identical either way — see docs/performance.md.
+        self.fastforward = fastforward_enabled() if fastforward is None \
+            else fastforward
+        self._horizon = EventHorizon(self)
+        #: wakeup-list scheduling (fast mode): min-heap of (ready_cycle,
+        #: gseq, dyn) for IQ entries whose sources all have scheduled
+        #: writebacks, and the due subset issue actually scans.
+        self._ready_heap: List[Tuple[int, int, DynInstr]] = []
+        self._ready_iq: List[DynInstr] = []
+        #: fast-forward introspection (not part of SimResult).
+        self.ff_jumps = 0
+        self.ff_skipped_cycles = 0
 
     # ------------------------------------------------------------------
     # driver
@@ -137,11 +165,13 @@ class Pipeline:
                 break
             if all(t.finished for t in self.threads):
                 break
-            self.step()
+            if not self.fastforward or not self._try_fast_forward(limit):
+                self.step()
             if warm and all(t.retired >= warm for t in self.threads):
                 self._reset_statistics()
                 warm = 0
-            if self.cycle - self._last_retire_cycle > self.DEADLOCK_WINDOW:
+            if self.cycle - self._progress_cycle() > self.DEADLOCK_WINDOW \
+                    and not self._progress_scheduled():
                 raise DeadlockError(self._deadlock_report())
         else:
             raise DeadlockError(f"max_cycles={limit} exceeded "
@@ -155,7 +185,8 @@ class Pipeline:
     def _reset_statistics(self) -> None:
         """End of warm-up: zero counters, keep all architectural state."""
         self.events = EventCounts()
-        self._occ_sums = {k: 0 for k in self._occ_sums}
+        self._occ_iq = self._occ_rob = self._occ_shelf = 0
+        self._occ_lq = self._occ_sq = 0
         for cache in (self.hierarchy.l1i, self.hierarchy.l1d,
                       self.hierarchy.l2):
             cache.stats.reset()
@@ -168,6 +199,93 @@ class Pipeline:
             t.lsq.store_buffer.coalesced = 0
             t.measure_start_cycle = self.cycle
             t.measure_start_retired = t.retired
+
+    def _progress_cycle(self) -> int:
+        """Last cycle the pipeline demonstrably moved forward: a
+        retirement, or failing that any fetch/dispatch/issue activity
+        (a healthy run's longest quiet stretch is bounded by its longest
+        memory stall, during which :meth:`_progress_scheduled` covers the
+        in-flight writeback)."""
+        if self._last_activity_cycle > self._last_retire_cycle:
+            return self._last_activity_cycle
+        return self._last_retire_cycle
+
+    def _progress_scheduled(self) -> bool:
+        """Is any event pending that could still lead to retirement?
+
+        Distinguishes a *stalled-by-design* quiet stretch from a true
+        deadlock by looking only at **time-driven** events — ones that
+        fire by themselves: an outstanding writeback, an I-miss fill the
+        front end is waiting out, or fetched instructions still crossing
+        the fetch-to-dispatch pipe.  A legitimate long-latency stall —
+        e.g. a DRAM access slower than ``DEADLOCK_WINDOW`` — always keeps
+        one such event scheduled, so the detector no longer trips on it;
+        a real deadlock only has instructions waiting on conditions that
+        never arrive, and still raises.  Events at exactly ``self.cycle``
+        count as pending: that cycle has not been simulated yet.
+        """
+        if self._completions:
+            return True
+        cycle = self.cycle
+        for t in self.threads:
+            if not t.trace_done and t.fetch_blocked_until >= cycle:
+                return True
+            for dyn in t.frontend:
+                if dyn.frontend_ready >= cycle:
+                    return True
+        return False
+
+    def _try_fast_forward(self, limit: int) -> bool:
+        """Jump to the next event horizon; False when this cycle is live.
+
+        The jump is clamped to the run's cycle limit and, until the first
+        retirement-window checkpoint is reached, to that checkpoint — so
+        the deadlock detector evaluates at exactly the cycle the reference
+        loop would first raise on.
+        """
+        cycle = self.cycle
+        target = self._horizon.next_event(cycle)
+        if target <= cycle:
+            return False
+        if target > limit:
+            target = limit
+        checkpoint = self._progress_cycle() + self.DEADLOCK_WINDOW + 1
+        if checkpoint > cycle and target > checkpoint:
+            target = checkpoint
+        if target <= cycle:
+            return False
+        self._fast_forward(target)
+        return True
+
+    def _fast_forward(self, target: int) -> None:
+        """Advance to *target* in one jump, batch-applying the per-cycle
+        work of the skipped cycles.
+
+        Every skipped cycle is one the horizon proved inactive: no stage
+        could fetch, dispatch, issue, write back, or retire, and every
+        store buffer was empty — so the reference loop would only have run
+        the end-of-cycle ticks.  Those are applied here in closed form:
+        SSR and steering countdowns saturate toward zero, the round-robin
+        pointers rotate once per cycle, and the occupancy accumulators
+        grow linearly at the (frozen) current occupancies.
+        """
+        cycle = self.cycle
+        count = target - cycle
+        for thread in self.threads:
+            thread.ssr.tick_many(count)
+        self.steering.tick_many(cycle, count)
+        n = self.config.num_threads
+        self._dispatch_rr = (self._dispatch_rr + count) % n
+        self._retire_rr = (self._retire_rr + count) % n
+        self._occ_iq += count * len(self.iq)
+        for thread in self.threads:
+            self._occ_rob += count * len(thread.rob)
+            self._occ_shelf += count * thread.shelf.occupancy
+            self._occ_lq += count * thread.lsq.lq_occupancy
+            self._occ_sq += count * thread.lsq.sq_occupancy
+        self.ff_jumps += 1
+        self.ff_skipped_cycles += count
+        self.cycle = target
 
     def step(self) -> None:
         """Advance the pipeline by one cycle."""
@@ -341,8 +459,17 @@ class Pipeline:
 
     def _issue(self, cycle: int) -> None:
         width = self.config.issue_width
+        fast = self.fastforward
+        if fast:
+            self._pop_due_ready(cycle)
         while width:
-            candidates = [d for d in self.iq if self._iq_ready(d, cycle)]
+            # Fast mode scans only the wakeup-driven ready set; the
+            # reference mode re-scans the whole IQ.  Both produce the same
+            # candidate set: an IQ entry passes _iq_ready only once all
+            # sources are ready, and by then its producers' issues have
+            # pushed it through the ready heap into _ready_iq.
+            pool = self._ready_iq if fast else self.iq
+            candidates = [d for d in pool if self._iq_ready(d, cycle)]
             for thread in self.threads:
                 head = thread.shelf.head
                 if head is not None and \
@@ -362,6 +489,47 @@ class Pipeline:
                     progressed = True
             if not progressed:
                 break
+
+    def _register_wakeup(self, dyn: DynInstr) -> None:
+        """IQ dispatch (fast mode): subscribe to unready source tags.
+
+        Each source occurrence whose producer has no scheduled writeback
+        adds one waiter registration; the last producer's issue pushes the
+        entry onto the ready heap keyed by its operands-ready cycle.  An
+        entry with no such sources is scheduled immediately.
+        """
+        sb = self.scoreboard
+        waits = 0
+        for tag in dyn.src_tags:
+            if sb.is_unwritten(tag):
+                sb.add_waiter(tag, dyn)
+                waits += 1
+        dyn.wake_waits = waits
+        if not waits:
+            heapq.heappush(self._ready_heap,
+                           (sb.earliest_issue(dyn.src_tags), dyn.gseq, dyn))
+
+    def _wake_waiters(self, tag: int) -> None:
+        """A producer scheduled its writeback: release *tag*'s waiters."""
+        sb = self.scoreboard
+        for dyn in sb.take_waiters(tag):
+            if dyn.squashed or dyn.issued:
+                continue
+            dyn.wake_waits -= 1
+            if not dyn.wake_waits:
+                heapq.heappush(
+                    self._ready_heap,
+                    (sb.earliest_issue(dyn.src_tags), dyn.gseq, dyn))
+
+    def _pop_due_ready(self, cycle: int) -> None:
+        """Migrate heap entries whose ready cycle has arrived into the
+        scan set (squashed/issued entries are dropped lazily)."""
+        heap = self._ready_heap
+        ready = self._ready_iq
+        while heap and heap[0][0] <= cycle:
+            _, _, dyn = heapq.heappop(heap)
+            if not dyn.squashed and not dyn.issued:
+                ready.append(dyn)
 
     def _iq_ready(self, dyn: DynInstr, cycle: int) -> bool:
         if not self.scoreboard.all_ready(dyn.src_tags, cycle):
@@ -450,6 +618,7 @@ class Pipeline:
 
         dyn.issued = True
         dyn.issue_cycle = cycle
+        self._last_activity_cycle = cycle
         dyn.complete_cycle = complete
         thread.icount -= 1
         thread.order_tracker.mark_issued(dyn.order_idx)
@@ -462,10 +631,14 @@ class Pipeline:
         else:
             thread.issue_tracker.mark_issued(dyn.rob_idx)
             self.iq.remove(dyn)
+            if self.fastforward:
+                self._ready_iq.remove(dyn)
             self.events.iq_issues += 1
 
         if dyn.dest_tag is not None:
             self.scoreboard.set_ready(dyn.dest_tag, complete)
+            if self.fastforward:
+                self._wake_waiters(dyn.dest_tag)
 
         # Speculation accounting for the SSRs and the classifier.
         resolution = 0
@@ -611,8 +784,11 @@ class Pipeline:
         dyn.prev_tag = rec.prev_tag
         if dyn.dest_tag is not None:
             self.scoreboard.clear(dyn.dest_tag)
+        if self.fastforward and not dyn.to_shelf:
+            self._register_wakeup(dyn)
         dyn.order_idx = thread.order_tracker.allocate()
         dyn.dispatch_cycle = cycle
+        self._last_activity_cycle = cycle
         thread.in_flight.append(dyn)
         if dyn.op is OpClass.BARRIER:
             self.events.barriers += 1
@@ -690,6 +866,7 @@ class Pipeline:
             thread.frontend.append(dyn)
             thread.icount += 1
             self.events.fetches += 1
+            self._last_activity_cycle = cycle
             if instr.is_branch:
                 self.events.bpred_lookups += 1
                 correct = self.predictor.predict(tid, instr.pc, instr.taken,
@@ -756,6 +933,7 @@ class Pipeline:
         thread.shelf_wb_pending = [d for d in thread.shelf_wb_pending
                                    if not d.squashed]
         self.iq = [d for d in self.iq if not d.squashed]
+        self._ready_iq = [d for d in self._ready_iq if not d.squashed]
         thread.cursor.rewind(from_seq)
         if cycle + 1 > thread.fetch_blocked_until:
             thread.fetch_blocked_until = cycle + 1
@@ -775,13 +953,12 @@ class Pipeline:
                 else:
                     self.events.storebuf_drains += 1
         self.steering.tick(cycle)
-        occ = self._occ_sums
-        occ["iq"] += len(self.iq)
+        self._occ_iq += len(self.iq)
         for thread in self.threads:
-            occ["rob"] += len(thread.rob)
-            occ["shelf"] += thread.shelf.occupancy
-            occ["lq"] += thread.lsq.lq_occupancy
-            occ["sq"] += thread.lsq.sq_occupancy
+            self._occ_rob += len(thread.rob)
+            self._occ_shelf += thread.shelf.occupancy
+            self._occ_lq += thread.lsq.lq_occupancy
+            self._occ_sq += thread.lsq.sq_occupancy
 
     # ------------------------------------------------------------------
     # results
@@ -809,8 +986,15 @@ class Pipeline:
         ev.sq_searches = sum(t.lsq.sq_search_events for t in self.threads)
         ev.storebuf_coalesced = sum(t.lsq.store_buffer.coalesced
                                     for t in self.threads)
-        occupancy = {k: v / cycles
-                     for k, v in sorted(self._occ_sums.items())}
+        # Key order matches the sorted-dict serialization of earlier
+        # revisions so result-store digests stay stable.
+        occupancy = {
+            "iq": self._occ_iq / cycles,
+            "lq": self._occ_lq / cycles,
+            "rob": self._occ_rob / cycles,
+            "shelf": self._occ_shelf / cycles,
+            "sq": self._occ_sq / cycles,
+        }
         return SimResult(
             config_label=self.config.label(),
             cycles=cycles,

@@ -10,7 +10,7 @@ tag *t* is ready for an instruction issuing at cycle *c* iff
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 #: "Not yet written" marker — larger than any reachable cycle count.
 UNWRITTEN = 1 << 60
@@ -19,9 +19,15 @@ UNWRITTEN = 1 << 60
 class Scoreboard:
     """Ready-cycle table over the full tag space."""
 
+    __slots__ = ("num_tags", "_ready", "_waiters")
+
     def __init__(self, num_tags: int) -> None:
         self.num_tags = num_tags
         self._ready: List[int] = [UNWRITTEN] * num_tags
+        # Per-tag wakeup lists (fast-forward mode): IQ entries blocked on
+        # an unwritten source register themselves here; the producer's
+        # issue drains the list instead of issue re-scanning the IQ.
+        self._waiters: Dict[int, list] = {}
 
     def mark_initial(self, tag: int) -> None:
         """Architectural reset state: tag is ready from cycle 0."""
@@ -57,6 +63,25 @@ class Scoreboard:
             if r[t] > cycle:
                 return False
         return True
+
+    # -- wakeup lists (fast-forward mode) ---------------------------------
+
+    def add_waiter(self, tag: int, dyn) -> None:
+        """Register *dyn* to be woken when *tag* becomes ready.
+
+        One registration per unready source occurrence — a duplicated tag
+        registers (and later decrements) twice, keeping the waiter count
+        in lock-step with :meth:`DynInstr.wake_waits` initialization.
+        """
+        waiters = self._waiters.get(tag)
+        if waiters is None:
+            self._waiters[tag] = [dyn]
+        else:
+            waiters.append(dyn)
+
+    def take_waiters(self, tag: int):
+        """Remove and return the waiter list for *tag* (possibly empty)."""
+        return self._waiters.pop(tag, ())
 
     def earliest_issue(self, tags) -> int:
         """First cycle at which all *tags* are ready (UNWRITTEN if any

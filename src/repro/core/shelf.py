@@ -30,6 +30,9 @@ from repro.core.dynamic import DynInstr
 class ShelfPartition:
     """One thread's shelf FIFO plus its virtual index space."""
 
+    __slots__ = ("entries", "index_space", "fifo", "tail", "retire_ptr",
+                 "_retired", "peak_occupancy")
+
     def __init__(self, entries: int) -> None:
         self.entries = entries
         self.index_space = 2 * entries

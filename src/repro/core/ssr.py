@@ -23,6 +23,8 @@ from __future__ import annotations
 class SpeculationShiftRegisters:
     """The per-thread IQ/shelf SSR pair (or a fused single SSR)."""
 
+    __slots__ = ("dual", "iq_ssr", "shelf_ssr")
+
     def __init__(self, dual: bool = True) -> None:
         self.dual = dual
         self.iq_ssr = 0
@@ -34,6 +36,20 @@ class SpeculationShiftRegisters:
             self.iq_ssr -= 1
         if self.shelf_ssr:
             self.shelf_ssr -= 1
+
+    def tick_many(self, count: int) -> None:
+        """*count* cycles elapse with no intervening updates — equivalent
+        to *count* calls of :meth:`tick` (each register saturates at 0)."""
+        if self.iq_ssr:
+            self.iq_ssr = max(0, self.iq_ssr - count)
+        if self.shelf_ssr:
+            self.shelf_ssr = max(0, self.shelf_ssr - count)
+
+    def cycles_until_shelf_issue(self, min_exec_delay: int) -> int:
+        """How many un-updated cycles until :meth:`shelf_may_issue`
+        becomes true for an instruction with *min_exec_delay* — the
+        shelf SSR drains one per cycle, so the gap closes linearly."""
+        return max(0, self.shelf_ssr - min_exec_delay)
 
     def record_iq_speculation(self, resolution_delay: int) -> None:
         """A speculative IQ instruction issued; merge its resolution time."""

@@ -44,6 +44,18 @@ class SteeringPolicy:
 
     # Hooks driven by the pipeline (default: ignore).
     def tick(self, cycle: int) -> None: ...
+
+    def tick_many(self, cycle: int, count: int) -> None:
+        """*count* ticks starting at *cycle*, with no pipeline activity in
+        between (a fast-forward jump).  Policies with per-cycle state
+        override this with a batched equivalent; a subclass that only
+        overrides :meth:`tick` falls back to an exact cycle-by-cycle
+        replay so fast-forward stays bit-identical by construction.
+        """
+        if type(self).tick is not SteeringPolicy.tick:
+            for i in range(count):
+                self.tick(cycle + i)
+
     def note_dispatched(self, dyn: DynInstr, cycle: int) -> None: ...
     def on_issue(self, dyn: DynInstr, cycle: int) -> None: ...
     def on_complete(self, dyn: DynInstr, cycle: int) -> None: ...
@@ -202,6 +214,57 @@ class PracticalSteering(SteeringPolicy):
                 if self._earliest_wb[tid]:
                     self._earliest_wb[tid] -= 1
 
+    def tick_many(self, cycle: int, count: int) -> None:
+        """Batched :meth:`tick` over an idle window of *count* cycles.
+
+        No dispatch, writeback, or squash happens inside a fast-forward
+        window, so tracked-load statuses and PLT rows are frozen: columns
+        whose load already completed/squashed free on the window's first
+        tick (as the reference would), and afterwards the only per-cycle
+        variation is loads *becoming* late as cycles cross their predicted
+        completion.  The window therefore splits into segments of constant
+        late-mask, each applied as one vectorized countdown.
+        """
+        end = cycle + count
+        for tid in range(self.config.num_threads):
+            cols = self._cols[tid]
+            preds = []
+            for i, slot in enumerate(cols):
+                if slot is None:
+                    continue
+                dyn, predicted = slot
+                if dyn.completed or dyn.squashed:
+                    cols[i] = None
+                    self._plt[tid] &= np.uint8(~(1 << i) & 0xFF)
+                else:
+                    preds.append((predicted, i))
+            rct = self._rct[tid]
+            t = cycle
+            while t < end:
+                late_mask = 0
+                nxt = end
+                for predicted, i in preds:
+                    if t >= predicted:
+                        late_mask |= 1 << i
+                    elif predicted < nxt:
+                        nxt = predicted  # next segment boundary
+                seg = nxt - t
+                if late_mask:
+                    stalled = (self._plt[tid] & np.uint8(late_mask)) != 0
+                    np.subtract(rct, seg, out=rct, where=~stalled)
+                    np.maximum(rct, 0, out=rct)
+                else:
+                    np.subtract(rct, seg, out=rct)
+                    np.maximum(rct, 0, out=rct)
+                    if self._earliest_issue[tid]:
+                        self._earliest_issue[tid] = \
+                            max(0, self._earliest_issue[tid] - seg)
+                    if self._earliest_wb[tid]:
+                        self._earliest_wb[tid] = \
+                            max(0, self._earliest_wb[tid] - seg)
+                self._late_mask[tid] = late_mask
+                t = nxt
+
     def stats(self) -> dict:
         total = self.steered_shelf + self.steered_iq
         return {
@@ -326,6 +389,10 @@ class ComparisonSteering(SteeringPolicy):
     def tick(self, cycle: int) -> None:
         self.primary.tick(cycle)
         self.shadow.tick(cycle)
+
+    def tick_many(self, cycle: int, count: int) -> None:
+        self.primary.tick_many(cycle, count)
+        self.shadow.tick_many(cycle, count)
 
     def note_dispatched(self, dyn: DynInstr, cycle: int) -> None:
         self.primary.note_dispatched(dyn, cycle)

@@ -19,6 +19,16 @@ class ThreadContext:
     buffer, ROB partition, LQ/SQ partition, shelf partition, trackers and
     speculation registers."""
 
+    __slots__ = (
+        "tid", "trace", "cursor", "config",
+        "frontend", "fetch_blocked_until", "ifetch_pending", "pending_branch",
+        "rob", "issue_tracker", "order_tracker", "lsq", "shelf", "ssr",
+        "in_flight", "shelf_wb_pending", "spec_inflight",
+        "icount", "retired", "finish_cycle",
+        "measure_start_cycle", "measure_start_retired",
+        "last_dispatch_was_shelf", "head_snapshot", "insequence_flags",
+    )
+
     def __init__(self, tid: int, trace: Trace, config: CoreConfig) -> None:
         self.tid = tid
         self.trace = trace

@@ -135,6 +135,15 @@ class FunctionalUnitPool:
                     return
             raise RuntimeError("acquire() without available(): FU pool overcommitted")
 
+    def next_free(self, op: OpClass) -> int:
+        """Earliest cycle at which some FU of *op*'s group is not busy.
+
+        A fast-forward horizon query for pipeline-idle stretches: nothing
+        issues during such a stretch, so the per-cycle issue counter is
+        irrelevant and only the unpipelined busy-until times matter.
+        """
+        return min(self._busy_until[_FU_GROUP[op]])
+
     def reset(self) -> None:
         """Clear all busy state (used between simulation runs)."""
         for group in self._busy_until:

@@ -158,6 +158,20 @@ class MemoryHierarchy:
         self.l2.fill(pc)
         return total
 
+    def next_fill_event(self, cycle: int) -> int:
+        """Earliest outstanding MSHR fill strictly after *cycle*.
+
+        A conservative fast-forward horizon component: fills surface to the
+        pipeline through the completion heap (the requester's latency was
+        fixed at access time), but bounding jumps by the next fill keeps the
+        horizon robust against any path that re-queries MSHR state.
+        Returns :data:`repro.memory.mshr.NO_EVENT` when nothing is in
+        flight.
+        """
+        l1d = self.l1d_mshrs.next_fill(cycle)
+        l2 = self.l2_mshrs.next_fill(cycle)
+        return l1d if l1d < l2 else l2
+
     # -- maintenance ----------------------------------------------------------
 
     def reset(self) -> None:

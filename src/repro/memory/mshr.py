@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+#: "No outstanding fill" sentinel for :meth:`MSHRFile.next_fill`.
+NO_EVENT = 1 << 62
+
 
 class MSHRFile:
     """A pool of MSHRs keyed by line address.
@@ -56,6 +59,13 @@ class MSHRFile:
         self._entries[line] = fill_cycle
         self.allocations += 1
         return fill_cycle
+
+    def next_fill(self, cycle: int) -> int:
+        """Earliest fill-complete cycle strictly after *cycle*
+        (:data:`NO_EVENT` when none is outstanding) — a fast-forward
+        horizon query; entries are expired lazily as usual."""
+        return min((c for c in self._entries.values() if c > cycle),
+                   default=NO_EVENT)
 
     @property
     def outstanding(self) -> int:

@@ -131,13 +131,16 @@ class TestFailureInjection:
         with pytest.raises(AssertionError):
             shelf.squash_from(d.shelf_idx)
 
-    def test_deadlock_detector_fires_with_poisoned_scoreboard(self):
+    def test_deadlock_detector_fires_with_poisoned_scoreboard(self, monkeypatch):
         # Freeze every operand forever: nothing can issue, and the
-        # detector must report rather than spin.
+        # detector must report rather than spin.  (Scoreboard uses
+        # __slots__, so poison the method at class level.)
+        from repro.core.scoreboard import Scoreboard
         cfg = CoreConfig(num_threads=1)
         pipe = Pipeline(cfg, [generate("serial.alu", 200, 0)])
         pipe.DEADLOCK_WINDOW = 2000
-        pipe.scoreboard.all_ready = lambda tags, cycle: False
+        monkeypatch.setattr(Scoreboard, "all_ready",
+                            lambda self, tags, cycle: False)
         from repro.core import DeadlockError
         with pytest.raises(DeadlockError):
             pipe.run(stop="all")

@@ -1,0 +1,94 @@
+"""Service layer bench: campaign throughput through the HTTP service.
+
+Runs the smoke-scale standard campaign twice against fresh result
+stores — once locally (serial, in-process), once submitted point by
+point to an in-process :class:`ServiceServer` with a multi-worker
+batching scheduler — records the service-path time in the perf
+trajectory, and checks the served records are bit-identical to the
+local ones (modulo ``elapsed_s``).
+
+The service path pays HTTP round trips, JSON encoding, and worker
+spawn on top of the simulations themselves; with several workers it
+should still land in the same ballpark as (or ahead of) the serial
+run.  No speedup is asserted — single-core CI only pays the overhead.
+"""
+
+import asyncio
+import threading
+import time
+
+from repro.harness import clear_cache, standard_campaign
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceServer
+from repro.trace.mixes import balanced_random_mixes
+
+WORKERS = 4
+BATCH_SIZE = 4
+
+
+def _strip_elapsed(records):
+    return {key: {k: v for k, v in rec.items() if k != "elapsed_s"}
+            for key, rec in records.items()}
+
+
+class _Service:
+    """ServiceServer on an ephemeral port, driven from a thread."""
+
+    def __init__(self, **kw):
+        self.server = ServiceServer(port=0, **kw)
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.started = threading.Event()
+
+    def _run(self):
+        async def go():
+            await self.server.start()
+            self.started.set()
+            await self.server.wait_closed()
+
+        asyncio.run(go())
+
+    def __enter__(self) -> ServiceClient:
+        self.thread.start()
+        assert self.started.wait(10), "server did not start"
+        return ServiceClient(f"http://127.0.0.1:{self.server.port}")
+
+    def __exit__(self, *exc):
+        self.server.request_shutdown()
+        self.thread.join(60)
+
+
+def test_service_campaign_throughput(benchmark, scale, tmp_path,
+                                     monkeypatch):
+    mixes = balanced_random_mixes()[:scale.num_mixes]
+    length = scale.instructions_per_thread
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "local-store"))
+    clear_cache()
+    t0 = time.perf_counter()
+    local = standard_campaign(tmp_path / "local.jsonl", mixes,
+                              length).run(jobs=1)
+    local_s = time.perf_counter() - t0
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "svc-store"))
+    clear_cache()
+
+    rounds = [0]
+
+    with _Service(workers=WORKERS, batch_size=BATCH_SIZE) as client:
+        def service_campaign():
+            rounds[0] += 1
+            path = tmp_path / f"svc-{rounds[0]}.jsonl"
+            return standard_campaign(path, mixes,
+                                     length).run(service=client)
+
+        served = benchmark.pedantic(service_campaign, rounds=1,
+                                    iterations=1)
+        service_s = benchmark.stats.stats.total
+        metrics = client.metrics()
+
+    clear_cache()
+    print(f"\nlocal {local_s:.2f}s vs service (workers={WORKERS}) "
+          f"{service_s:.2f}s over {len(local)} points; "
+          f"batches={metrics['batches']}, "
+          f"executed={metrics['executed_points']}")
+    assert _strip_elapsed(local) == _strip_elapsed(served)

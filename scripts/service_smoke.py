@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the simulation service, used by CI.
+
+Out-of-process on purpose: starts a real ``python -m repro serve``
+subprocess against a throwaway result store, then from this process
+
+1. submits two *identical* jobs concurrently and asserts exactly one
+   simulation execution (queue dedup) with both records equal to a
+   direct in-process ``Pipeline`` run of the same point;
+2. asserts the ``/metrics`` document reflects the dedup and the single
+   execution;
+3. sends SIGTERM and asserts the server drains and exits 0.
+
+Exits nonzero (with the failure on stderr) if any step misbehaves.
+
+Usage: ``PYTHONPATH=src python scripts/service_smoke.py``
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.pipeline import Pipeline  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.jobs import JobSpec, config_from_wire  # noqa: E402
+from repro.trace import generate  # noqa: E402
+
+SPEC = {"config": "shelf64", "threads": 1, "benchmarks": ["ilp.int4"],
+        "length": 2000}
+
+
+def direct_record() -> dict:
+    """The reference: a plain in-process run of the same point."""
+    spec = JobSpec.from_wire(SPEC)
+    traces = [generate(b, spec.length, spec.seed + i)
+              for i, b in enumerate(spec.benchmarks)]
+    return Pipeline(spec.config, traces).run(stop=spec.stop).as_record()
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p)
+    with tempfile.TemporaryDirectory(prefix="repro-svc-smoke-") as tmp:
+        env["REPRO_CACHE_DIR"] = os.path.join(tmp, "store")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--drain-timeout", "60"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", banner)
+            assert match, f"no listening banner, got: {banner!r}"
+            client = ServiceClient(f"http://127.0.0.1:{match.group(1)}")
+            assert client.healthz()["status"] == "ok"
+
+            # two identical jobs, submitted concurrently
+            docs = [None, None]
+
+            def submit(i):
+                docs[i] = client.run(SPEC, wait_timeout_s=120)
+
+            threads = [threading.Thread(target=submit, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(150)
+            assert all(d and d["state"] == "done" for d in docs), docs
+
+            reference = direct_record()
+            for doc in docs:
+                record = {k: v for k, v in doc["record"].items()
+                          if k != "elapsed_s"}
+                assert record == reference, \
+                    "service record differs from direct run"
+
+            metrics = client.metrics()
+            assert metrics["jobs_submitted"] == 2, metrics
+            assert metrics["executed_points"] == 1, metrics
+            assert metrics["jobs_completed"] == 2, metrics
+            assert metrics["dedup_hits"] + metrics["cache_hits"] == 1, \
+                metrics
+            assert metrics["jobs_failed"] == 0, metrics
+            print("smoke: dedup + bit-identity + metrics OK")
+
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=90)
+            assert proc.returncode == 0, \
+                f"serve exited {proc.returncode}:\n{out}"
+            assert "drained" in out, f"no drain message:\n{out}"
+            print("smoke: graceful drain OK")
+        except BaseException:
+            proc.kill()
+            proc.wait(10)
+            raise
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

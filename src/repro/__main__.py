@@ -6,7 +6,10 @@ Subcommands:
 * ``experiments``  regenerate paper figures/tables;
 * ``benchmarks``   list the synthetic benchmark roster;
 * ``trace``        generate a benchmark trace and save it to a file;
-* ``lint``         run the determinism lint over the codebase.
+* ``lint``         run the determinism lint over the codebase;
+* ``cache``        inspect / garbage-collect the persistent result store;
+* ``serve``        run the simulation service (queue + worker fleet);
+* ``submit``       submit a simulation to a running service.
 """
 
 from __future__ import annotations
@@ -116,6 +119,93 @@ def _cmd_lint(args) -> int:
     return lint_main(forwarded)
 
 
+def _parse_size(text: str) -> int:
+    """``"500M"`` / ``"2G"`` / ``"123456"`` -> bytes."""
+    text = text.strip()
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    factor = units.get(text[-1:].upper(), 1)
+    digits = text[:-1] if factor != 1 else text
+    try:
+        return int(digits) * factor
+    except ValueError:
+        raise ValueError(f"bad size {text!r} (expected e.g. 500M)") from None
+
+
+def _cmd_cache(args) -> int:
+    from repro.harness.cache import get_store, simulator_salt
+    store = get_store()
+    if store is None:
+        print("persistent result store is disabled "
+              "(REPRO_CACHE_DIR=off)", file=sys.stderr)
+        return 1
+    if args.cache_cmd == "gc":
+        try:
+            max_bytes = _parse_size(args.max_bytes)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        removed, freed = store.gc(max_bytes)
+        print(f"evicted {removed} entr{'y' if removed == 1 else 'ies'}, "
+              f"freed {freed} bytes")
+    disk = store.disk_stats()
+    print(f"store:   {store.directory}")
+    print(f"salt:    {simulator_salt()}")
+    print(f"entries: {disk['entries']}")
+    print(f"bytes:   {disk['bytes']}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.server import serve
+    return serve(host=args.host, port=args.port, workers=args.workers,
+                 batch_size=args.batch_size, max_inflight=args.max_inflight,
+                 max_retries=args.retries,
+                 retry_backoff_s=args.retry_backoff,
+                 default_timeout_s=args.timeout,
+                 max_queue_depth=args.max_queue_depth,
+                 drain_timeout_s=args.drain_timeout)
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.service.client import JobFailed, ServiceClient, ServiceError
+    benches = args.benchmarks.split(",")
+    cfg = _build_config(args)
+    payload = {"config": args.config, "threads": args.threads,
+               "steering": args.steering, "optimistic": args.optimistic,
+               "memory_model": cfg.memory_model,
+               "benchmarks": benches, "length": args.length,
+               "seed": args.seed, "stop": args.stop}
+    client = ServiceClient(args.url)
+    try:
+        status = client.submit(payload, priority=args.priority,
+                               timeout_s=args.timeout)
+        job_id = status["job_id"]
+        if args.no_wait:
+            print(job_id)
+            return 0
+        client.wait(job_id, timeout_s=args.wait_timeout)
+        doc = client.result(job_id)
+    except JobFailed as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ServiceError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    record = doc["record"]
+    if args.json:
+        print(_json.dumps(doc, indent=2))
+    else:
+        threads = " ".join(
+            f"t{i}:{t['benchmark']}={t['cpi']:.3f}"
+            for i, t in enumerate(record["threads"]))
+        print(f"{job_id} done ({'cached' if doc['cached'] else 'simulated'})"
+              f": {record['cycles']} cycles, IPC {record['ipc']:.3f}, "
+              f"CPI {threads}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.trace.serialize import save_trace
     if args.benchmark not in BENCHMARK_NAMES:
@@ -189,6 +279,72 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--length", type=int, default=10000)
     tr.add_argument("--seed", type=int, default=0)
     tr.set_defaults(func=_cmd_trace)
+
+    cache = sub.add_parser("cache",
+                           help="inspect the persistent result store")
+    cache_sub = cache.add_subparsers(dest="cache_cmd", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="print store location, entry count, and size")
+    cache_stats.set_defaults(func=_cmd_cache)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict oldest entries down to a size budget")
+    cache_gc.add_argument("--max-bytes", required=True, metavar="SIZE",
+                          help="target store size (e.g. 500M, 2G, 1048576)")
+    cache_gc.set_defaults(func=_cmd_cache)
+
+    srv = sub.add_parser("serve",
+                         help="run the simulation service "
+                              "(queue + batching worker fleet)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="listen port (0 = ephemeral)")
+    srv.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes (0 = all cores)")
+    srv.add_argument("--batch-size", type=int, default=4, metavar="N",
+                     help="max points coalesced into one worker task")
+    srv.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                     help="bounded in-flight batch window "
+                          "(default: 2x workers)")
+    srv.add_argument("--retries", type=int, default=2, metavar="N",
+                     help="retry budget per job after worker crashes")
+    srv.add_argument("--retry-backoff", type=float, default=0.25,
+                     metavar="S", help="initial retry backoff (doubles)")
+    srv.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="default per-job timeout (none if unset)")
+    srv.add_argument("--max-queue-depth", type=int, default=1024,
+                     metavar="N", help="submissions beyond this get 429")
+    srv.add_argument("--drain-timeout", type=float, default=30.0,
+                     metavar="S",
+                     help="max seconds to drain on SIGTERM/SIGINT")
+    srv.set_defaults(func=_cmd_serve)
+
+    sb = sub.add_parser("submit",
+                        help="submit a simulation to a running service")
+    sb.add_argument("benchmarks",
+                    help="comma-separated benchmark names, one per thread")
+    sb.add_argument("--url", default="http://127.0.0.1:8642")
+    sb.add_argument("--config", choices=["base64", "shelf64", "base128"],
+                    default="shelf64")
+    sb.add_argument("--threads", type=int, default=4)
+    sb.add_argument("--length", type=int, default=4000)
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--steering", default="practical",
+                    choices=["practical", "oracle", "shelf-only"])
+    sb.add_argument("--optimistic", action="store_true")
+    sb.add_argument("--memory-model", choices=["relaxed", "tso"],
+                    default="relaxed")
+    sb.add_argument("--stop", choices=["first", "all"], default="first")
+    sb.add_argument("--priority", type=int, default=0,
+                    help="lower runs first; FIFO within a priority")
+    sb.add_argument("--timeout", type=float, default=None, metavar="S",
+                    help="per-job simulation timeout")
+    sb.add_argument("--wait-timeout", type=float, default=None, metavar="S",
+                    help="max seconds to wait for completion")
+    sb.add_argument("--no-wait", action="store_true",
+                    help="print the job id and exit without waiting")
+    sb.add_argument("--json", action="store_true",
+                    help="print the full result document as JSON")
+    sb.set_defaults(func=_cmd_submit)
     return parser
 
 
@@ -199,6 +355,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # stdout went away (e.g. piped through `head`): exit quietly.
         return 0
+    except KeyboardInterrupt:
+        # Ctrl-C or SIGTERM (converted by the executor): completed work
+        # is already checkpointed; report the interruption and exit
+        # nonzero without a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -97,6 +97,24 @@ class SimResult:
     def cpi_of(self, tid: int) -> float:
         return self.threads[tid].cpi
 
+    def as_record(self) -> Dict[str, object]:
+        """Canonical JSON-safe record of this result.
+
+        The single serialization used by campaign checkpoints and the
+        simulation service's result API, so a point simulated through
+        either path produces a byte-identical record.
+        """
+        return {
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "threads": [{"benchmark": t.benchmark, "retired": t.retired,
+                         "cpi": t.cpi} for t in self.threads],
+            "events": self.events.as_dict(),
+            "steering": self.steering_stats,
+            "bpred_accuracy": self.bpred_accuracy,
+            "occupancy": self.occupancy,
+        }
+
     def summary(self) -> str:
         """Multi-line human-readable digest (used by examples)."""
         lines = [f"{self.config_label}: {self.cycles} cycles, "

@@ -24,6 +24,7 @@ from repro.harness.runner import (
 )
 from repro.harness.cache import ResultStore, point_digest
 from repro.harness.executor import (
+    interrupt_on_sigterm,
     resolve_jobs,
     run_points,
     set_default_jobs,
@@ -45,6 +46,7 @@ __all__ = [
     "cache_stats",
     "clear_cache",
     "get_scale",
+    "interrupt_on_sigterm",
     "mix_stp",
     "point_digest",
     "prefill",

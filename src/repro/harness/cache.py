@@ -29,7 +29,7 @@ import pickle
 import tempfile
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import CoreConfig
 from repro.core.stats import SimResult
@@ -170,6 +170,50 @@ class ResultStore:
                     pass
         self.evictions += removed
         return removed
+
+    def entries(self) -> List[Tuple[Path, int, float]]:
+        """Every stored entry as ``(path, size_bytes, mtime)``, sorted by
+        path for determinism.  Entries that vanish mid-scan (a concurrent
+        ``gc`` or ``clear``) are skipped."""
+        out: List[Tuple[Path, int, float]] = []
+        if not self.directory.is_dir():
+            return out
+        for f in sorted(self.directory.glob("*/*.pkl")):
+            try:
+                st = f.stat()
+            except OSError:
+                continue
+            out.append((f, st.st_size, st.st_mtime))
+        return out
+
+    def disk_stats(self) -> Dict[str, int]:
+        """On-disk footprint: ``{"entries": n, "bytes": total}``."""
+        entries = self.entries()
+        return {"entries": len(entries),
+                "bytes": sum(size for _, size, _ in entries)}
+
+    def gc(self, max_bytes: int) -> Tuple[int, int]:
+        """Evict least-recently-written entries until the store holds at
+        most *max_bytes*.
+
+        Returns ``(removed, freed_bytes)``.  Eviction order is oldest
+        mtime first (ties broken by path), so hot recent results survive.
+        """
+        entries = self.entries()
+        total = sum(size for _, size, _ in entries)
+        removed = freed = 0
+        for path, size, _ in sorted(entries, key=lambda e: (e[2], str(e[0]))):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+        self.evictions += removed
+        return removed, freed
 
     @property
     def stats(self) -> Dict[str, int]:

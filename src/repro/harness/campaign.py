@@ -13,6 +13,7 @@ does not force re-simulation.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -41,24 +42,23 @@ class CampaignPoint:
                 f"{self.stop}")
 
 
-def _result_record(point: CampaignPoint, result: SimResult,
-                   elapsed: float) -> dict:
+def _point_record(point: CampaignPoint, record: dict,
+                  elapsed: float) -> dict:
+    """Checkpoint line: point identity + a :meth:`SimResult.as_record`."""
     return {
         "key": point.key,
         "config": point.config_name,
         "benchmarks": list(point.benchmarks),
         "length": point.length,
         "seed": point.seed,
-        "cycles": result.cycles,
-        "ipc": result.ipc,
-        "threads": [{"benchmark": t.benchmark, "retired": t.retired,
-                     "cpi": t.cpi} for t in result.threads],
-        "events": result.events.as_dict(),
-        "steering": result.steering_stats,
-        "bpred_accuracy": result.bpred_accuracy,
-        "occupancy": result.occupancy,
+        **record,
         "elapsed_s": elapsed,
     }
+
+
+def _result_record(point: CampaignPoint, result: SimResult,
+                   elapsed: float) -> dict:
+    return _point_record(point, result.as_record(), elapsed)
 
 
 class Campaign:
@@ -98,7 +98,8 @@ class Campaign:
         return sum(1 for p in self.points if p.key in self.records)
 
     def run(self, progress: Optional[Callable[[str, int, int], None]] = None,
-            jobs: Optional[int] = None) -> Dict[str, dict]:
+            jobs: Optional[int] = None,
+            service: Optional[object] = None) -> Dict[str, dict]:
         """Execute all pending points, checkpointing after each.
 
         With ``jobs > 1`` (or ``$REPRO_JOBS`` set) pending points run
@@ -108,33 +109,87 @@ class Campaign:
         bit-identical to a serial run (completion *order* in the file may
         differ; records are keyed, so consumers are unaffected).
 
+        With ``service`` set (a URL string or
+        :class:`repro.service.client.ServiceClient`) the campaign spawns
+        no local pool at all: every pending point is submitted to a
+        running simulation service (``python -m repro serve``) and the
+        returned records — identical in schema and content to locally
+        simulated ones — are checkpointed as each job completes.
+
         Args:
             progress: optional callback ``(point_key, done, total)``.
             jobs: worker processes (default: ``$REPRO_JOBS``, else serial).
+            service: submit points to this service instead of simulating
+                locally.
 
         Returns the full key -> record mapping (existing + new).
         """
+        if service is not None:
+            return self._run_via_service(service, progress)
         total = len(self.points)
         pending = self.pending
         specs = [(p.config, p.benchmarks, p.length, p.seed, p.stop)
                  for p in pending]
-        # A crash mid-write can leave the file without a trailing newline;
-        # terminate the partial line so the next record doesn't merge
-        # into it (and get discarded by the tolerant loader on reload).
+        with self._checkpoint_file() as fh:
+            for i, result, elapsed in run_points(specs, jobs=jobs):
+                self._checkpoint(fh, pending[i],
+                                 _result_record(pending[i], result, elapsed))
+                if progress:
+                    progress(pending[i].key, self.completed, total)
+        return dict(self.records)
+
+    def _checkpoint_file(self):
+        """Open the checkpoint for appending, first terminating any
+        partial trailing line a crash mid-write may have left (so the
+        next record doesn't merge into it and get discarded by the
+        tolerant loader on reload)."""
         if self.path.exists() and self.path.stat().st_size:
             with self.path.open("rb+") as fh:
                 fh.seek(-1, 2)
                 if fh.read(1) != b"\n":
                     fh.write(b"\n")
-        with self.path.open("a") as fh:
-            for i, result, elapsed in run_points(specs, jobs=jobs):
-                point = pending[i]
-                rec = _result_record(point, result, elapsed)
-                fh.write(json.dumps(rec) + "\n")
-                fh.flush()
-                self.records[point.key] = rec
-                if progress:
-                    progress(point.key, self.completed, total)
+        return self.path.open("a")
+
+    def _checkpoint(self, fh, point: CampaignPoint, rec: dict) -> None:
+        fh.write(json.dumps(rec) + "\n")
+        fh.flush()
+        self.records[point.key] = rec
+
+    def _run_via_service(self, service,
+                         progress: Optional[Callable[[str, int, int], None]]
+                         ) -> Dict[str, dict]:
+        """Submit every pending point to a running simulation service and
+        checkpoint results as jobs complete (completion order)."""
+        from repro.service.client import ServiceClient
+        client = ServiceClient(service) if isinstance(service, str) \
+            else service
+        total = len(self.points)
+        pending = self.pending
+        job_ids = {client.submit_point(p.config, p.benchmarks, p.length,
+                                       seed=p.seed, stop=p.stop): p
+                   for p in pending}
+        with self._checkpoint_file() as fh:
+            outstanding = dict(job_ids)
+            while outstanding:
+                for job_id in list(outstanding):
+                    status = client.status(job_id)
+                    if status["state"] == "queued" or \
+                            status["state"] == "running":
+                        continue
+                    point = outstanding.pop(job_id)
+                    if status["state"] != "done":
+                        raise RuntimeError(
+                            f"service job {job_id} for {point.key} "
+                            f"failed: {status.get('error')}")
+                    payload = client.result(job_id)
+                    record = payload["record"]
+                    elapsed = record.pop("elapsed_s", 0.0)
+                    self._checkpoint(fh, point,
+                                     _point_record(point, record, elapsed))
+                    if progress:
+                        progress(point.key, self.completed, total)
+                if outstanding:
+                    time.sleep(0.05)
         return dict(self.records)
 
     def dataframe_rows(self) -> List[dict]:

@@ -18,8 +18,11 @@ A non-positive count means "all cores".
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
@@ -58,6 +61,48 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+def terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Hard-kill a pool's worker processes.
+
+    Used on interrupt/shutdown paths only: ``shutdown(cancel_futures=
+    True)`` drops *pending* futures but still lets every in-flight point
+    run to completion (and the executor's atexit hook joins the workers),
+    which can stall exit for minutes.  Mid-simulation results are never
+    checkpointed, so killing the workers loses nothing durable.
+    """
+    processes = getattr(pool, "_processes", None)
+    for proc in list((processes or {}).values()):
+        try:
+            proc.terminate()
+        except (OSError, ValueError):
+            pass
+
+
+@contextlib.contextmanager
+def interrupt_on_sigterm():
+    """Convert SIGTERM into :class:`KeyboardInterrupt` while active.
+
+    A campaign killed by a supervisor (``kill``, CI job cancellation,
+    container stop) then takes the same graceful path as Ctrl-C: pending
+    futures are cancelled, completed points stay checkpointed, and the
+    CLI exits nonzero.  A no-op off the main thread or where SIGTERM is
+    unavailable; the previous handler is restored on exit.
+    """
+    if not hasattr(signal, "SIGTERM") or \
+            threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def simulate_point(config: CoreConfig, benchmarks: Tuple[str, ...],
@@ -107,12 +152,24 @@ def run_points(specs: Iterable[PointSpec], jobs: Optional[int] = None
     # spawn, not fork: workers re-import the package, so they are safe
     # regardless of parent threads and identical across platforms.
     ctx = multiprocessing.get_context("spawn")
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-        futures = {pool.submit(_worker, spec): i
-                   for i, spec in enumerate(specs)}
-        for future in as_completed(futures):
-            result, elapsed = future.result()
-            yield futures[future], result, elapsed
+    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+    with interrupt_on_sigterm():
+        try:
+            futures = {pool.submit(_worker, spec): i
+                       for i, spec in enumerate(specs)}
+            for future in as_completed(futures):
+                result, elapsed = future.result()
+                yield futures[future], result, elapsed
+        except BaseException:
+            # KeyboardInterrupt / SIGTERM / a consumer abandoning the
+            # generator: kill in-flight workers (before shutdown() —
+            # which nulls the process table), drop everything not yet
+            # running, and return without draining the whole grid.
+            # Already-yielded (checkpointed) points are preserved.
+            terminate_workers(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
 
 
 def map_points(specs: Sequence[PointSpec], jobs: Optional[int] = None

@@ -1,0 +1,163 @@
+"""Argument parsing and subcommand dispatch for ``python -m repro``.
+
+Complements ``test_tools.py`` (which exercises run/experiments/trace
+output): this file pins down the parser itself — subcommand wiring,
+defaults, bad-flag exit codes — and the cache/serve/submit commands
+added with the service layer.  ``argparse`` exits with code 2 on usage
+errors, which surfaces as ``SystemExit(2)``.
+"""
+
+import pytest
+
+from repro.__main__ import _parse_size, build_parser, main
+from repro.harness.cache import reset_store
+
+
+@pytest.fixture
+def tmp_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    reset_store()
+    yield
+    reset_store()
+
+
+class TestParser:
+    def test_no_subcommand_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+    def test_unknown_subcommand_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "ilp.int4", "--config", "nonesuch"],
+        ["run", "ilp.int4", "--threads", "not-a-number"],
+        ["run", "ilp.int4", "--steering", "psychic"],
+        ["run", "ilp.int4", "--memory-model", "sc"],
+        ["experiments", "--scale", "enormous"],
+        ["cache"],                       # subcommand required
+        ["cache", "gc"],                 # --max-bytes required
+        ["serve", "--port", "notaport"],
+        ["submit", "ilp.int4", "--stop", "eventually"],
+        ["submit", "ilp.int4", "--priority", "high"],
+    ])
+    def test_bad_flags_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+
+    def test_every_subcommand_is_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0])))
+        commands = set(subparsers.choices)
+        assert {"run", "experiments", "benchmarks", "litmus", "lint",
+                "trace", "cache", "serve", "submit"} <= commands
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.workers == 1
+        assert args.batch_size == 4
+        assert args.max_inflight is None
+        assert args.retries == 2
+        assert args.retry_backoff == 0.25
+        assert args.timeout is None
+        assert args.max_queue_depth == 1024
+        assert args.drain_timeout == 30.0
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "ilp.int4"])
+        assert args.url == "http://127.0.0.1:8642"
+        assert args.config == "shelf64"
+        assert args.threads == 4
+        assert args.length == 4000
+        assert args.stop == "first"
+        assert not args.no_wait and not args.json
+
+    def test_run_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "ilp.int4,stream.add", "--threads", "2",
+             "--config", "base128", "--memory-model", "tso",
+             "--energy", "--pipetrace", "12"])
+        assert args.benchmarks == "ilp.int4,stream.add"
+        assert args.threads == 2 and args.config == "base128"
+        assert args.memory_model == "tso"
+        assert args.energy and args.pipetrace == 12
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("123456", 123456),
+        ("4K", 4 << 10),
+        ("500M", 500 << 20),
+        ("2g", 2 << 30),
+        (" 1K ", 1 << 10),
+    ])
+    def test_valid(self, text, expected):
+        assert _parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "M", "12Q", "1.5G", "lots"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            _parse_size(text)
+
+
+class TestDispatch:
+    def test_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        assert "ilp.int4" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "DET101" in capsys.readouterr().out
+
+    def test_run_bad_benchmark_exits_2(self, capsys):
+        assert main(["run", "no.such", "--threads", "1",
+                     "--length", "100"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_experiments_unknown_id_exits_2(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_unknown_benchmark_exits_2(self, tmp_path, capsys):
+        out = tmp_path / "t.trace"
+        assert main(["trace", "no.such", str(out)]) == 2
+        assert not out.exists()
+
+    def test_cache_stats(self, tmp_store, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "store:" in out and "salt:" in out
+        assert "entries: 0" in out
+
+    def test_cache_gc(self, tmp_store, capsys):
+        assert main(["cache", "gc", "--max-bytes", "1K"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 0 entries" in out
+
+    def test_cache_gc_bad_size_exits_2(self, tmp_store, capsys):
+        assert main(["cache", "gc", "--max-bytes", "lots"]) == 2
+        assert "bad size" in capsys.readouterr().err
+
+    def test_cache_disabled_exits_1(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        reset_store()
+        try:
+            assert main(["cache", "stats"]) == 1
+            assert "disabled" in capsys.readouterr().err
+        finally:
+            reset_store()
+
+    def test_submit_unreachable_service_exits_1(self, capsys):
+        # nothing listens on this port; client fails fast, CLI exits 1
+        assert main(["submit", "ilp.int4", "--threads", "1",
+                     "--url", "http://127.0.0.1:9",
+                     "--length", "100"]) == 1
+        assert "unreachable" in capsys.readouterr().err

@@ -1,0 +1,99 @@
+"""Compare a fresh BENCH_simspeed.json against the committed baseline.
+
+The committed JSON documents the speedups the fast loops are expected
+to deliver; this script fails CI when a fresh measurement regresses the
+compute-bound lane speedup by more than the tolerance.  It compares
+*speedup ratios*, not absolute times — ratios are the quantity that
+transfers across machines — and only the `ilp.int8` lane ratio is a
+hard gate (it is the number the lane engine exists for); every other
+(workload, mode) pair that drifts below tolerance is reported as a
+warning so noisy CI hosts don't flap the build.
+
+Usage:
+    python scripts/check_simspeed_regression.py \
+        --baseline /tmp/baseline.json [--fresh BENCH_simspeed.json] \
+        [--tolerance 0.10]
+
+Exit status: 0 clean, 1 on a hard regression, 2 on usage/schema errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: (workload, ratio key) pairs that hard-fail the build on regression.
+HARD_GATES = (("ilp.int8", "speedup_lanes"),)
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed BENCH_simspeed.json to compare "
+                             "against (e.g. a git-show copy)")
+    parser.add_argument("--fresh", type=Path,
+                        default=REPO_ROOT / "BENCH_simspeed.json",
+                        help="freshly generated JSON (default: repo root)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional ratio drop (default 0.10)")
+    args = parser.parse_args(argv)
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    if base.get("scale") != fresh.get("scale"):
+        print(f"error: scale mismatch — baseline ran at "
+              f"{base.get('scale')!r}, fresh at {fresh.get('scale')!r}; "
+              f"ratios are only comparable at the same scale",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    warnings = []
+    hard = set(HARD_GATES)
+    for workload, entry in sorted(base.get("workloads", {}).items()):
+        fresh_entry = fresh.get("workloads", {}).get(workload)
+        if fresh_entry is None:
+            failures.append(f"{workload}: missing from fresh run")
+            continue
+        for key in ("speedup_lanes", "speedup_object"):
+            want = entry.get(key)
+            got = fresh_entry.get(key)
+            if want is None or got is None:
+                continue
+            floor = want * (1.0 - args.tolerance)
+            line = (f"{workload} {key}: baseline {want:.2f}x, "
+                    f"fresh {got:.2f}x (floor {floor:.2f}x)")
+            if got < floor:
+                if (workload, key) in hard:
+                    failures.append("REGRESSION " + line)
+                else:
+                    warnings.append("drift " + line)
+            else:
+                print("ok " + line)
+
+    for w in warnings:
+        print("warning: " + w)
+    for f in failures:
+        print("error: " + f, file=sys.stderr)
+    if failures:
+        return 1
+    print(f"simspeed ratios within {args.tolerance:.0%} of baseline "
+          f"({len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

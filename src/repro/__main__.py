@@ -6,6 +6,7 @@ Subcommands:
 * ``experiments``  regenerate paper figures/tables;
 * ``benchmarks``   list the synthetic benchmark roster;
 * ``trace``        generate a benchmark trace and save it to a file;
+* ``profile``      cProfile a simulation and print the hottest functions;
 * ``lint``         run the determinism lint over the codebase;
 * ``cache``        inspect / garbage-collect the persistent result store;
 * ``serve``        run the simulation service (queue + worker fleet);
@@ -206,6 +207,45 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    benches = args.benchmarks.split(",")
+    if len(benches) != args.threads:
+        print(f"error: {args.threads} thread(s) need {args.threads} "
+              f"benchmark(s), got {len(benches)}", file=sys.stderr)
+        return 2
+    for b in benches:
+        if b not in BENCHMARK_NAMES:
+            print(f"error: unknown benchmark {b!r} "
+                  f"(try: python -m repro benchmarks)", file=sys.stderr)
+            return 2
+    cfg = _build_config(args)
+    traces = [generate(b, args.length, seed=args.seed + i)
+              for i, b in enumerate(benches)]
+    mode_kwargs = {
+        "lanes": {"lanes": True},
+        "object": {"lanes": False, "fastforward": True},
+        "reference": {"lanes": False, "fastforward": False},
+    }[args.mode]
+    pipe = Pipeline(cfg, traces, **mode_kwargs)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    res = pipe.run(stop="all" if args.threads == 1 else "first")
+    profiler.disable()
+    print(res.summary())
+    print(f"\nmode: {args.mode}, sorted by {args.sort}, "
+          f"top {args.limit}:\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    if args.output:
+        profiler.dump_stats(args.output)
+        print(f"raw profile written to {args.output} "
+              f"(inspect with python -m pstats)")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.trace.serialize import save_trace
     if args.benchmark not in BENCHMARK_NAMES:
@@ -272,6 +312,36 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="describe every rule and exit")
     lint.set_defaults(func=_cmd_lint)
+
+    prof = sub.add_parser("profile",
+                          help="cProfile a simulation and print the "
+                               "hottest functions")
+    prof.add_argument("benchmarks",
+                      help="comma-separated benchmark names, one per thread")
+    prof.add_argument("--config", choices=["base64", "shelf64", "base128"],
+                      default="shelf64")
+    prof.add_argument("--threads", type=int, default=4)
+    prof.add_argument("--length", type=int, default=4000,
+                      help="instructions per thread")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--steering", default="practical",
+                      choices=["practical", "oracle", "shelf-only"])
+    prof.add_argument("--optimistic", action="store_true")
+    prof.add_argument("--memory-model", choices=["relaxed", "tso"],
+                      default="relaxed")
+    prof.add_argument("--mode", choices=["lanes", "object", "reference"],
+                      default="lanes",
+                      help="which cycle loop to profile (default: lanes)")
+    prof.add_argument("--sort", default="cumulative",
+                      choices=["cumulative", "tottime", "ncalls",
+                               "pcalls", "filename", "line", "name",
+                               "nfl", "stdname", "time", "calls"],
+                      help="pstats sort key (default: cumulative)")
+    prof.add_argument("--limit", type=int, default=25, metavar="N",
+                      help="number of entries to print (default: 25)")
+    prof.add_argument("--output", metavar="FILE", default=None,
+                      help="also dump the raw profile for pstats")
+    prof.set_defaults(func=_cmd_profile)
 
     tr = sub.add_parser("trace", help="generate and save a trace")
     tr.add_argument("benchmark")

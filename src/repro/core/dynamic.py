@@ -13,12 +13,39 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass
 from repro.rename.rat import RenameRecord
 
-#: Sentinel for "not yet" cycle fields.
+#: Sentinel for "not yet" cycle fields (kept for external consumers;
+#: the cycle fields themselves are now lazily written — see below).
 NEVER = -1
 
 
 class DynInstr:
-    """In-flight instruction state threaded through every pipeline stage."""
+    """In-flight instruction state threaded through every pipeline stage.
+
+    **Write-before-read contract.**  Only the fields every stage may read
+    on a freshly fetched instruction are initialized in ``__init__``; one
+    :class:`DynInstr` is built per fetched instruction, so the constructor
+    is on the hottest shared path of both loop modes and every avoidable
+    slot store costs real time.  All other slots are written by the stage
+    that creates the value, before any consumer can observe the
+    instruction:
+
+    * ``frontend_ready`` — fetch, immediately after construction;
+    * ``src_tags``/``dest_tag``/``dest_pri``/``prev_tag``/``order_idx``/
+      ``dispatch_cycle`` — dispatch (readers only see dispatched instrs);
+    * ``rob_idx``/``shelf_squash_idx``/``waiting_store`` — IQ dispatch;
+      ``shelf_idx``/``last_iq_rob_idx``/``first_in_run``/``ssr_copied`` —
+      shelf dispatch; ``lq_slot``/``sq_slot``/``retry_after`` — the LSQ
+      dispatch hooks;
+    * ``issue_cycle``/``complete_cycle``/``wake_waits``/
+      ``speculative_load``/``mem_latency``/``forwarded_from``/
+      ``forwarded_seq`` — issue;
+    * ``retire_cycle`` — retire.
+
+    Diagnostic readers that may legitimately probe a field on an
+    instruction whose owning stage never ran (the sanitizer's shelf
+    audit, the retire log's ``forwarded_seq``, LQ violation scans) use
+    ``getattr(..., default)``.
+    """
 
     __slots__ = (
         "tid", "seq", "gseq", "instr", "op", "latency",
@@ -43,54 +70,18 @@ class DynInstr:
         self.op: OpClass = instr.op
         self.latency = latency  #: base execution latency
 
-        self.frontend_ready = NEVER  #: cycle it may dispatch
+        # Fields any stage may read before their owning stage ran; all
+        # other slots follow the write-before-read contract (class
+        # docstring) and are deliberately left unset here.
         self.mispredicted = False    #: branch predicted wrong at fetch
-
-        # Rename / steering results.
         self.to_shelf = False
         self.rename: Optional[RenameRecord] = None
-        self.src_tags: Tuple[int, ...] = ()
-        self.dest_tag: Optional[int] = None
-        self.dest_pri: Optional[int] = None
-        self.prev_tag: Optional[int] = None  #: dest's previous tag (WAW check)
-
-        # Window bookkeeping.
-        self.rob_idx: Optional[int] = None          #: issue-tracker index (IQ)
-        self.shelf_idx: Optional[int] = None        #: virtual index (shelf)
-        self.last_iq_rob_idx = -1                   #: run boundary (shelf)
-        self.shelf_squash_idx: Optional[int] = None  #: next shelf idx (IQ)
-        self.first_in_run = False
-        self.ssr_copied = False
-        self.order_idx: Optional[int] = None  #: program-order tracker index
         self.steer_cached: Optional[bool] = None  #: steering decision memo
-
-        # Timing.
-        self.dispatch_cycle = NEVER
-        self.issue_cycle = NEVER
-        self.complete_cycle = NEVER
-        self.retire_cycle = NEVER
         self.issued = False
         self.executed = False    #: memory ops: address/data produced
         self.completed = False
         self.retired = False
         self.squashed = False
-
-        # Memory behaviour.
-        self.mem_latency = 0
-        self.retry_after = 0  #: structural replay backoff (MSHRs full)
-        self.forwarded_from: Optional[int] = None  #: gseq of forwarding store
-        self.forwarded_seq: Optional[int] = None   #: its per-thread seq
-        self.speculative_load = False  #: issued past an un-executed elder store
-        self.lq_slot = False
-        self.sq_slot = False
-        self.waiting_store: Optional["DynInstr"] = None  #: store-set dependence
-
-        # Filled by the classifier (None until classified).
-        self.classified_in_sequence: Optional[bool] = None
-
-        # Fast-forward wakeup: unready source occurrences still pending
-        # at IQ dispatch (scoreboard waiter-list registrations).
-        self.wake_waits = 0
 
     # -- convenience --------------------------------------------------------
 

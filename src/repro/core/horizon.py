@@ -191,10 +191,28 @@ class EventHorizon:
         pipe = self.pipe
         horizon = INFINITY
 
-        # Wakeup-scheduled IQ entries not yet data-ready.
-        heap = pipe._ready_heap
-        while heap and (heap[0][2].squashed or heap[0][2].issued):
-            heapq.heappop(heap)
+        # Wakeup-scheduled IQ entries not yet data-ready.  The lane
+        # engine keeps its own (cycle, slot) heap and slot-id ready list;
+        # the object loop keeps (cycle, gseq, dyn) / dyn lists.  Both
+        # schedules are identical by construction.
+        eng = pipe._lane_engine
+        if eng is not None:
+            heap = eng.heap
+            dyn_of = eng.dyn_of
+            while heap:
+                d = dyn_of[heap[0][1]]
+                if d.squashed or d.issued:
+                    heapq.heappop(heap)
+                else:
+                    break
+            ready_iq = [dyn_of[g] for g in eng.ready]
+            if eng.ready_ld:
+                ready_iq.extend(dyn_of[g] for g in eng.ready_ld)
+        else:
+            heap = pipe._ready_heap
+            while heap and (heap[0][2].squashed or heap[0][2].issued):
+                heapq.heappop(heap)
+            ready_iq = pipe._ready_iq
         if heap:
             sched = heap[0][0]
             if sched <= cycle:
@@ -204,7 +222,7 @@ class EventHorizon:
 
         # Data-ready IQ entries held by per-entry gates.
         fu = pipe.fu
-        for dyn in pipe._ready_iq:
+        for dyn in ready_iq:
             if dyn.squashed or dyn.issued:
                 continue
             at = cycle

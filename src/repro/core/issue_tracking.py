@@ -9,6 +9,11 @@ head pointer tracking the oldest unissued IQ instruction.
 We use a monotonically increasing per-thread index (the ROB allocation
 sequence) rather than wrap-around indices, which keeps the "has the head
 pointer moved past index i" comparison a plain integer ``>``.
+
+The bitvector itself is a literal ``bytearray`` indexed by allocation
+sequence (1 = outstanding): indices are allocated densely in order, so a
+flag append/flat store is strictly cheaper than the hash ops of a set on
+the two per-instruction touches every dispatched instruction pays.
 """
 
 from __future__ import annotations
@@ -22,21 +27,25 @@ class IssueTracker:
     def __init__(self) -> None:
         self.tail = 0          #: next index to allocate
         self.head = 0          #: oldest index not yet issued
-        self._unissued = set()
+        self._unissued = bytearray()  #: 1 = outstanding, indexed by idx
 
     def allocate(self) -> int:
         """Dispatch of an IQ instruction: clear its bit, return its index."""
         idx = self.tail
-        self.tail += 1
-        self._unissued.add(idx)
+        self.tail = idx + 1
+        self._unissued.append(1)
         return idx
 
     def mark_issued(self, idx: int) -> None:
         """Issue of the IQ instruction holding *idx*: set its bit and let
         the head pointer advance over the issued prefix."""
-        self._unissued.discard(idx)
-        while self.head < self.tail and self.head not in self._unissued:
-            self.head += 1
+        un = self._unissued
+        un[idx] = 0
+        h = self.head
+        t = self.tail
+        while h < t and not un[h]:
+            h += 1
+        self.head = h
 
     def discard(self, idx: int) -> None:
         """Squash: treat the index as issued so it never blocks the head."""
@@ -59,7 +68,7 @@ class IssueTracker:
 
     @property
     def outstanding(self) -> int:
-        return len(self._unissued)
+        return self._unissued.count(1)
 
     def snapshot_head(self) -> int:
         """Start-of-cycle head value, for the conservative (no same-cycle

@@ -158,12 +158,14 @@ class LoadStoreQueues:
 
     def dispatch_load(self, dyn: DynInstr) -> None:
         dyn.lq_slot = True
+        dyn.retry_after = 0  # issue-path replay backoff starts clear
         self.lq.append(dyn)
         self._prune_loads()
         self.all_loads.append(dyn)
 
     def dispatch_shelf_load(self, dyn: DynInstr) -> None:
         """Shelf loads take no LQ entry but are tracked for TSO ordering."""
+        dyn.retry_after = 0  # issue-path replay backoff starts clear
         self._prune_loads()
         self.all_loads.append(dyn)
 
@@ -175,6 +177,7 @@ class LoadStoreQueues:
     def dispatch_shelf_store(self, dyn: DynInstr) -> None:
         """Shelf stores take no SQ entry but are tracked for ordering
         (relaxed model only; under TSO they allocate real SQ entries)."""
+        dyn.sq_slot = False  # completion checks it to release TSO entries
         self.all_stores.append(dyn)
 
     # -- ordering queries --------------------------------------------------
@@ -253,7 +256,9 @@ class LoadStoreQueues:
                 continue
             if not _overlap(ld, store):
                 continue
-            if ld.forwarded_from is None or ld.forwarded_from < store.gseq:
+            # Loads that issued without forwarding never wrote the field.
+            fwd = getattr(ld, "forwarded_from", None)
+            if fwd is None or fwd < store.gseq:
                 if worst is None or ld.seq < worst.seq:
                     worst = ld
         return worst

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.config import CoreConfig
 from repro.core.dynamic import DynInstr
 from repro.core.horizon import EventHorizon, fastforward_enabled
+from repro.core.lanes import LaneEngine, lanes_enabled
 from repro.core.stats import EventCounts, SimResult, ThreadResult
 from repro.core.sanitizer import Sanitizer, sanitize_enabled
 from repro.core.scoreboard import Scoreboard
@@ -52,18 +53,24 @@ class Pipeline:
     def __init__(self, config: CoreConfig, traces: Sequence[Trace],
                  steering: Optional[SteeringPolicy] = None,
                  record_schedule: bool = False,
-                 fastforward: Optional[bool] = None) -> None:
+                 fastforward: Optional[bool] = None,
+                 lanes: Optional[bool] = None) -> None:
         if len(traces) != config.num_threads:
             raise ValueError(f"{config.num_threads} threads need "
                              f"{config.num_threads} traces, got {len(traces)}")
         self.config = config
+        #: structure-of-arrays hot loop (default on; $REPRO_LANES=0 or
+        #: lanes=False selects the per-object reference pipeline, exactly
+        #: as $REPRO_FASTFORWARD does for the event-driven loop).  Results
+        #: are bit-identical either way — see docs/performance.md.
+        self.lanes = lanes_enabled() if lanes is None else lanes
         self.hierarchy = MemoryHierarchy(config.hierarchy)
         self.predictor = make_predictor(config.branch_predictor,
                                         config.num_threads)
         self.fetch_policy = make_fetch_policy(config.fetch_policy,
                                               config.num_threads)
         self.steering = steering if steering is not None \
-            else make_steering(config, self.hierarchy)
+            else make_steering(config, self.hierarchy, lanes=self.lanes)
 
         self.phys_fl = FreeList(
             range(NUM_ARCH_REGS * config.num_threads, config.prf_entries),
@@ -132,6 +139,12 @@ class Pipeline:
         self.ff_jumps = 0
         self.ff_skipped_cycles = 0
 
+        #: flat-lane engine: mirrors per-instruction hot state into
+        #: parallel int arrays and runs an inlined cycle step over them.
+        #: Built last so it can snapshot every structure above.
+        self._lane_engine: Optional[LaneEngine] = \
+            LaneEngine(self) if self.lanes else None
+
     # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
@@ -160,23 +173,32 @@ class Pipeline:
         if warm and warm >= min(len(t.trace) for t in self.threads):
             raise ValueError("warmup must be shorter than the traces")
 
-        while self.cycle < limit:
-            if stop == "first" and any(t.finished for t in self.threads):
-                break
-            if all(t.finished for t in self.threads):
-                break
-            if not self.fastforward or not self._try_fast_forward(limit):
-                self.step()
-            if warm and all(t.retired >= warm for t in self.threads):
-                self._reset_statistics()
-                warm = 0
-            if self.cycle - self._progress_cycle() > self.DEADLOCK_WINDOW \
-                    and not self._progress_scheduled():
-                raise DeadlockError(self._deadlock_report())
+        if self._lane_engine is not None:
+            # The lane engine owns the cycle loop: same stop conditions,
+            # warm-up resets, fast-forward jumps, and deadlock checks,
+            # with the stage bodies inlined (see repro.core.lanes).
+            self._lane_engine.run_loop(stop == "first", limit, warm,
+                                       total_instrs)
         else:
-            raise DeadlockError(f"max_cycles={limit} exceeded "
-                                f"({self._total_retired}/{total_instrs} "
-                                f"retired)")
+            while self.cycle < limit:
+                if stop == "first" and \
+                        any(t.finished for t in self.threads):
+                    break
+                if all(t.finished for t in self.threads):
+                    break
+                if not self.fastforward or not self._try_fast_forward(limit):
+                    self.step()
+                if warm and all(t.retired >= warm for t in self.threads):
+                    self._reset_statistics()
+                    warm = 0
+                if self.cycle - self._progress_cycle() > \
+                        self.DEADLOCK_WINDOW \
+                        and not self._progress_scheduled():
+                    raise DeadlockError(self._deadlock_report())
+            else:
+                raise DeadlockError(f"max_cycles={limit} exceeded "
+                                    f"({self._total_retired}/"
+                                    f"{total_instrs} retired)")
         if self.sanitizer is not None and \
                 all(t.finished for t in self.threads):
             self.sanitizer.check_drain(self.cycle)
@@ -289,6 +311,9 @@ class Pipeline:
 
     def step(self) -> None:
         """Advance the pipeline by one cycle."""
+        if self._lane_engine is not None:
+            self._lane_engine.step()
+            return
         cycle = self.cycle
         for t in self.threads:
             t.head_snapshot = t.issue_tracker.snapshot_head()
@@ -414,7 +439,7 @@ class Pipeline:
                 "to_shelf": dyn.to_shelf,
                 "dispatch": dyn.dispatch_cycle, "issue": dyn.issue_cycle,
                 "complete": dyn.complete_cycle, "retire": cycle,
-                "forwarded_seq": dyn.forwarded_seq,
+                "forwarded_seq": getattr(dyn, "forwarded_seq", None),
             })
 
     # ------------------------------------------------------------------
@@ -745,6 +770,7 @@ class Pipeline:
             thread.shelf.allocate(dyn)
             dyn.last_iq_rob_idx = thread.issue_tracker.last_allocated
             dyn.first_in_run = not thread.last_dispatch_was_shelf
+            dyn.ssr_copied = False
             thread.last_dispatch_was_shelf = True
             self.events.shelf_writes += 1
             if dyn.is_load:
@@ -932,8 +958,11 @@ class Pipeline:
                 self.sanitizer.note_shelf_squash(thread, min_shelf_idx)
         thread.shelf_wb_pending = [d for d in thread.shelf_wb_pending
                                    if not d.squashed]
-        self.iq = [d for d in self.iq if not d.squashed]
-        self._ready_iq = [d for d in self._ready_iq if not d.squashed]
+        # In place: the lane engine's run loop holds run-long aliases.
+        self.iq[:] = [d for d in self.iq if not d.squashed]
+        self._ready_iq[:] = [d for d in self._ready_iq if not d.squashed]
+        if self._lane_engine is not None:
+            self._lane_engine.drop_squashed_ready()
         thread.cursor.rewind(from_seq)
         if cycle + 1 > thread.fetch_blocked_until:
             thread.fetch_blocked_until = cycle + 1

@@ -157,6 +157,11 @@ class Sanitizer:
                 raise SanitizerError("lsq", thread.tid, cycle, problem)
             self._check_inflight(thread, cycle)
         self._check_tag_space(cycle)
+        if pipe._lane_engine is not None:
+            # Lane/object agreement: the flat arrays write through to the
+            # DynInstr mirrors, so every in-flight slot must match.
+            for problem in pipe._lane_engine.audit():
+                raise SanitizerError("lanes", None, cycle, problem)
         self.checks += 1
 
     def _check_freelist(self, label: str, freelist, cycle: int) -> None:
@@ -177,7 +182,10 @@ class Sanitizer:
                 continue
             if dyn.to_shelf:
                 rec = dyn.rename
-                if dyn.rob_idx is not None:
+                # Shelf instructions never pass through the stages that
+                # write rob_idx / lq_slot / sq_slot, so probe with
+                # defaults (DynInstr's write-before-read contract).
+                if getattr(dyn, "rob_idx", None) is not None:
                     raise SanitizerError(
                         "shelf", thread.tid, cycle,
                         f"{dyn!r} allocated issue-tracker index "
@@ -188,11 +196,12 @@ class Sanitizer:
                         f"{dyn!r} allocated a fresh physical register "
                         f"({rec.prev_pri} -> {rec.pri}); shelf renames "
                         f"must reuse the current PRI")
-                if dyn.lq_slot:
+                if getattr(dyn, "lq_slot", False):
                     raise SanitizerError(
                         "shelf", thread.tid, cycle,
                         f"shelf load {dyn!r} holds an LQ slot")
-                if dyn.sq_slot and not (tso and dyn.is_store):
+                if getattr(dyn, "sq_slot", False) and \
+                        not (tso and dyn.is_store):
                     raise SanitizerError(
                         "shelf", thread.tid, cycle,
                         f"shelf instruction {dyn!r} holds an SQ slot "

@@ -11,9 +11,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class EventCounts:
-    """Per-structure dynamic event counts for one simulation."""
+    """Per-structure dynamic event counts for one simulation.
+
+    ``slots=True``: the counters are incremented on every pipeline
+    event, and slot access is measurably cheaper than dict access on
+    that path (both loop modes benefit equally).
+    """
 
     fetches: int = 0
     bpred_lookups: int = 0

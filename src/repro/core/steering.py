@@ -274,6 +274,175 @@ class PracticalSteering(SteeringPolicy):
         }
 
 
+class LanePracticalSteering(PracticalSteering):
+    """Plain-list twin of :class:`PracticalSteering` for lane mode.
+
+    The numpy implementation pays array-creation and ufunc-dispatch
+    overhead per :meth:`tick` that dwarfs the 32-element workload once
+    the rest of the cycle runs on flat lanes.  This subclass keeps the
+    RCT/PLT as plain Python lists and replays the exact arithmetic —
+    saturating countdowns, stalled-row freezes, column bitmask clears —
+    so decisions are numerically identical (the lanes-vs-object oracle
+    covers ``practical`` configurations in both modes).  It is selected
+    by :func:`make_steering` only when the pipeline runs the lane
+    engine; explicitly constructed policies keep the numpy arrays.
+    """
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+        self.cap = (1 << config.rct_bits) - 1
+        self.num_cols = config.plt_loads
+        n = config.num_threads
+        self._rct = [[0] * NUM_ARCH_REGS for _ in range(n)]
+        self._plt = [[0] * NUM_ARCH_REGS for _ in range(n)]
+        self._cols = [[None] * self.num_cols for _ in range(n)]
+        self._earliest_issue = [0] * n
+        self._earliest_wb = [0] * n
+        self._late_mask = [0] * n
+        self.steered_shelf = 0
+        self.steered_iq = 0
+
+    def decide(self, tid: int, instr: Instruction, cycle: int) -> bool:
+        rct = self._rct[tid]
+        plt = self._plt[tid]
+        late = self._late_mask[tid]
+        cap = self.cap
+        saturate = late and instr.op is not OpClass.LOAD
+        src_wait = 0
+        for s in instr.srcs:
+            w = cap if (saturate and plt[s] & late) else rct[s]
+            if w > src_wait:
+                src_wait = w
+        lat = DEFAULT_LATENCIES[instr.op]
+
+        iq_complete = src_wait + lat
+
+        shelf_issue = src_wait
+        if self._earliest_issue[tid] > shelf_issue:
+            shelf_issue = self._earliest_issue[tid]
+        dest = instr.dest
+        if dest is not None:
+            waw = cap if (late and plt[dest] & late) else rct[dest]
+            if waw > shelf_issue:
+                shelf_issue = waw
+        shelf_complete = shelf_issue + lat
+        if self._earliest_wb[tid] > shelf_complete:
+            shelf_complete = self._earliest_wb[tid]
+
+        to_shelf = shelf_complete <= iq_complete
+        if to_shelf:
+            self.steered_shelf += 1
+            chosen_issue, chosen_complete = shelf_issue, shelf_complete
+        else:
+            self.steered_iq += 1
+            chosen_issue, chosen_complete = src_wait, iq_complete
+
+        if chosen_issue > self._earliest_issue[tid]:
+            self._earliest_issue[tid] = min(chosen_issue, cap)
+        if is_speculative_source(instr.op):
+            if chosen_complete > self._earliest_wb[tid]:
+                self._earliest_wb[tid] = min(chosen_complete, cap)
+
+        if dest is not None:
+            rct[dest] = min(chosen_complete, cap)
+            row = 0
+            for s in instr.srcs:
+                row |= plt[s]
+            plt[dest] = row
+        return to_shelf
+
+    def note_dispatched(self, dyn: DynInstr, cycle: int) -> None:
+        if not dyn.is_load or dyn.instr.dest is None:
+            return
+        cols = self._cols[dyn.tid]
+        for i, slot in enumerate(cols):
+            if slot is None:
+                predicted = cycle + self._rct[dyn.tid][dyn.instr.dest]
+                cols[i] = (dyn, predicted)
+                self._plt[dyn.tid][dyn.instr.dest] |= 1 << i
+                return
+
+    def tick(self, cycle: int) -> None:
+        for tid in range(self.config.num_threads):
+            cols = self._cols[tid]
+            plt = self._plt[tid]
+            late_mask = 0
+            for i, slot in enumerate(cols):
+                if slot is None:
+                    continue
+                dyn, predicted = slot
+                if dyn.completed or dyn.squashed:
+                    cols[i] = None
+                    keep = ~(1 << i) & 0xFF
+                    for r in range(NUM_ARCH_REGS):
+                        plt[r] &= keep
+                elif cycle >= predicted:
+                    late_mask |= 1 << i
+            self._late_mask[tid] = late_mask
+            rct = self._rct[tid]
+            if late_mask:
+                for r in range(NUM_ARCH_REGS):
+                    if not plt[r] & late_mask:
+                        v = rct[r]
+                        if v > 0:
+                            rct[r] = v - 1
+            else:
+                for r in range(NUM_ARCH_REGS):
+                    v = rct[r]
+                    if v > 0:
+                        rct[r] = v - 1
+                if self._earliest_issue[tid]:
+                    self._earliest_issue[tid] -= 1
+                if self._earliest_wb[tid]:
+                    self._earliest_wb[tid] -= 1
+
+    def tick_many(self, cycle: int, count: int) -> None:
+        end = cycle + count
+        for tid in range(self.config.num_threads):
+            cols = self._cols[tid]
+            plt = self._plt[tid]
+            preds = []
+            for i, slot in enumerate(cols):
+                if slot is None:
+                    continue
+                dyn, predicted = slot
+                if dyn.completed or dyn.squashed:
+                    cols[i] = None
+                    keep = ~(1 << i) & 0xFF
+                    for r in range(NUM_ARCH_REGS):
+                        plt[r] &= keep
+                else:
+                    preds.append((predicted, i))
+            rct = self._rct[tid]
+            t = cycle
+            while t < end:
+                late_mask = 0
+                nxt = end
+                for predicted, i in preds:
+                    if t >= predicted:
+                        late_mask |= 1 << i
+                    elif predicted < nxt:
+                        nxt = predicted  # next segment boundary
+                seg = nxt - t
+                if late_mask:
+                    for r in range(NUM_ARCH_REGS):
+                        if not plt[r] & late_mask:
+                            v = rct[r] - seg
+                            rct[r] = v if v > 0 else 0
+                else:
+                    for r in range(NUM_ARCH_REGS):
+                        v = rct[r] - seg
+                        rct[r] = v if v > 0 else 0
+                    if self._earliest_issue[tid]:
+                        self._earliest_issue[tid] = \
+                            max(0, self._earliest_issue[tid] - seg)
+                    if self._earliest_wb[tid]:
+                        self._earliest_wb[tid] = \
+                            max(0, self._earliest_wb[tid] - seg)
+                self._late_mask[tid] = late_mask
+                t = nxt
+
+
 class OracleSteering(SteeringPolicy):
     """Greedy oracle: exact latencies, functional cache query, corrected by
     the observed schedule (paper Section IV-A)."""
@@ -414,15 +583,21 @@ class ComparisonSteering(SteeringPolicy):
         return out
 
 
-def make_steering(config: CoreConfig,
-                  hierarchy: MemoryHierarchy) -> SteeringPolicy:
-    """Build the steering policy named by ``config.steering``."""
+def make_steering(config: CoreConfig, hierarchy: MemoryHierarchy,
+                  lanes: bool = False) -> SteeringPolicy:
+    """Build the steering policy named by ``config.steering``.
+
+    ``lanes=True`` (the pipeline's lane engine is active) selects the
+    plain-list :class:`LanePracticalSteering` twin for ``"practical"`` —
+    decision-identical, but without per-cycle numpy dispatch overhead.
+    """
     if config.steering == "iq-only":
         return IQOnlySteering()
     if config.steering == "shelf-only":
         return ShelfOnlySteering()
     if config.steering == "practical":
-        return PracticalSteering(config)
+        return LanePracticalSteering(config) if lanes \
+            else PracticalSteering(config)
     if config.steering == "oracle":
         return OracleSteering(config, hierarchy)
     raise ValueError(f"unknown steering {config.steering!r}")

@@ -57,8 +57,9 @@ class Cache:
             raise ValueError(f"{name}: number of sets must be a power of two")
         self._set_mask = self.num_sets - 1
         self._line_shift = line_size.bit_length() - 1
-        # Per-set mapping tag -> (last-use stamp, dirty); dict preserves no
-        # order we rely on — LRU uses the stamp.
+        # Per-set mapping tag -> [last-use stamp, dirty]; dict preserves no
+        # order we rely on — LRU uses the stamp.  Mutable 2-lists, so the
+        # hit path updates in place instead of allocating a fresh tuple.
         self._sets: list = [dict() for _ in range(self.num_sets)]
         self._stamp = 0
         self.stats = CacheStats()
@@ -76,12 +77,15 @@ class Cache:
 
     def lookup(self, addr: int, is_write: bool = False) -> bool:
         """Access *addr*; return True on hit.  Updates LRU and stats."""
-        line = self.line_addr(addr)
-        cset = self._sets[self._index(line)]
-        self._stamp += 1
+        line = addr >> self._line_shift
+        cset = self._sets[line & self._set_mask]
+        stamp = self._stamp + 1
+        self._stamp = stamp
         entry = cset.get(line)
         if entry is not None:
-            cset[line] = (self._stamp, entry[1] or is_write)
+            entry[0] = stamp
+            if is_write:
+                entry[1] = True
             self.stats.hits += 1
             return True
         self.stats.misses += 1
@@ -106,8 +110,13 @@ class Cache:
                 self.stats.writebacks += 1
                 victim_writeback = victim << self._line_shift
             del cset[victim]
-        prior_dirty = cset[line][1] if line in cset else False
-        cset[line] = (self._stamp, prior_dirty or is_write)
+        prior = cset.get(line)
+        if prior is not None:
+            prior[0] = self._stamp
+            if is_write:
+                prior[1] = True
+        else:
+            cset[line] = [self._stamp, is_write]
         return victim_writeback
 
     def invalidate_all(self) -> None:

@@ -39,8 +39,11 @@ class MSHRFile:
 
     def lookup(self, line: int, cycle: int) -> Optional[int]:
         """If *line* is already in flight, return its fill-complete cycle."""
+        entries = self._entries
+        if not entries:  # common case on cache-friendly phases
+            return None
         self._expire(cycle)
-        return self._entries.get(line)
+        return entries.get(line)
 
     def allocate(self, line: int, cycle: int, fill_cycle: int) -> Optional[int]:
         """Track a new miss for *line* completing at *fill_cycle*.

@@ -23,9 +23,13 @@ from repro.isa.instruction import NUM_ARCH_REGS
 from repro.rename.freelist import FreeList
 
 
-@dataclass
+@dataclass(slots=True)
 class RenameRecord:
-    """Undo/retire bookkeeping for one renamed instruction."""
+    """Undo/retire bookkeeping for one renamed instruction.
+
+    ``slots=True``: one record is created per dispatched instruction,
+    so the per-instance dict is measurable churn on the rename path.
+    """
 
     arch: Optional[int]       #: destination architectural register (None if no dest)
     pri: Optional[int]        #: destination PRI after rename

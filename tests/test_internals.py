@@ -4,7 +4,7 @@ containers, and shelf/ROB retire-gate timing details."""
 import pytest
 
 from repro.core import CoreConfig, Pipeline
-from repro.core.dynamic import DynInstr, NEVER
+from repro.core.dynamic import DynInstr
 from repro.core.stats import EventCounts, SimResult, ThreadResult
 from repro.core.thread_context import ThreadContext
 from repro.isa.instruction import Instruction
@@ -30,9 +30,21 @@ class TestDynInstr:
     def test_initial_state(self):
         d = DynInstr(0, 5, 7, _instr(), 1)
         assert d.seq == 5 and d.gseq == 7
-        assert d.dispatch_cycle == NEVER
         assert not d.issued and not d.completed and not d.retired
-        assert d.classified_in_sequence is None
+        assert not d.squashed and not d.executed
+        assert d.rename is None and d.steer_cached is None
+        assert not d.to_shelf and not d.mispredicted
+
+    def test_lazy_fields_follow_write_before_read_contract(self):
+        # Stage-owned fields are deliberately unset until the owning
+        # stage writes them (see the DynInstr docstring); reading one on
+        # a freshly fetched instruction is a bug.
+        d = DynInstr(0, 5, 7, _instr(), 1)
+        for lazy in ("dispatch_cycle", "issue_cycle", "complete_cycle",
+                     "rob_idx", "order_idx", "src_tags", "dest_tag",
+                     "waiting_store", "wake_waits", "frontend_ready"):
+            with pytest.raises(AttributeError):
+                getattr(d, lazy)
 
     def test_kind_properties(self):
         assert DynInstr(0, 0, 0, _instr(OpClass.LOAD), 2).is_load

@@ -134,10 +134,12 @@ class TestFailureInjection:
     def test_deadlock_detector_fires_with_poisoned_scoreboard(self, monkeypatch):
         # Freeze every operand forever: nothing can issue, and the
         # detector must report rather than spin.  (Scoreboard uses
-        # __slots__, so poison the method at class level.)
+        # __slots__, so poison the method at class level.  The lane
+        # engine reads the ready lanes directly and never calls
+        # all_ready, so the injection only bites the object path.)
         from repro.core.scoreboard import Scoreboard
         cfg = CoreConfig(num_threads=1)
-        pipe = Pipeline(cfg, [generate("serial.alu", 200, 0)])
+        pipe = Pipeline(cfg, [generate("serial.alu", 200, 0)], lanes=False)
         pipe.DEADLOCK_WINDOW = 2000
         monkeypatch.setattr(Scoreboard, "all_ready",
                             lambda self, tags, cycle: False)

@@ -8,6 +8,7 @@ Subcommands:
 * ``trace``        generate a benchmark trace and save it to a file;
 * ``profile``      cProfile a simulation and print the hottest functions;
 * ``lint``         run the determinism lint over the codebase;
+* ``check``        lint + the slot/lane/async/digest contract passes;
 * ``cache``        inspect / garbage-collect the persistent result store;
 * ``serve``        run the simulation service (queue + worker fleet);
 * ``submit``       submit a simulation to a running service.
@@ -118,6 +119,25 @@ def _cmd_lint(args) -> int:
     if args.list_rules:
         forwarded.append("--list-rules")
     return lint_main(forwarded)
+
+
+def _cmd_check(args) -> int:
+    from repro.lint import check_main
+    forwarded = [str(p) for p in args.paths]
+    forwarded += ["--output", args.output]
+    if args.output_file:
+        forwarded += ["--output-file", str(args.output_file)]
+    if args.baseline:
+        forwarded += ["--baseline", str(args.baseline)]
+    if args.no_baseline:
+        forwarded.append("--no-baseline")
+    if args.write_baseline:
+        forwarded.append("--write-baseline")
+    if args.explain:
+        forwarded += ["--explain", args.explain]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return check_main(forwarded)
 
 
 def _parse_size(text: str) -> int:
@@ -312,6 +332,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="describe every rule and exit")
     lint.set_defaults(func=_cmd_lint)
+
+    check = sub.add_parser("check",
+                           help="lint + slot/lane/async/digest contract "
+                                "analysis")
+    check.add_argument("paths", nargs="*",
+                       help="files or directories (default: src tests)")
+    check.add_argument("--output", choices=["text", "json", "sarif"],
+                       default="text", help="report format")
+    check.add_argument("--output-file", default=None, metavar="FILE",
+                       help="write the report here (text summary still "
+                            "goes to stdout)")
+    check.add_argument("--baseline", default=None, metavar="FILE",
+                       help="baseline of grandfathered findings "
+                            "(default: .repro-check-baseline.json)")
+    check.add_argument("--no-baseline", action="store_true",
+                       help="report baselined findings too")
+    check.add_argument("--write-baseline", action="store_true",
+                       help="write current findings to the baseline")
+    check.add_argument("--explain", metavar="CODE", default=None,
+                       help="print the rationale for one rule and exit")
+    check.add_argument("--list-rules", action="store_true",
+                       help="describe every rule and exit")
+    check.set_defaults(func=_cmd_check)
 
     prof = sub.add_parser("profile",
                           help="cProfile a simulation and print the "

@@ -7,7 +7,7 @@ same per-thread sequence number but a younger global age).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass
@@ -16,6 +16,70 @@ from repro.rename.rat import RenameRecord
 #: Sentinel for "not yet" cycle fields (kept for external consumers;
 #: the cycle fields themselves are now lazily written — see below).
 NEVER = -1
+
+#: Pipeline stages in instruction-flow order — the clock of the
+#: write-before-read contract.  A slot owned by stage *s* may be read
+#: by any stage at or after *s* in this tuple; an earlier-stage read is
+#: a contract violation (``repro check``'s SLOT202).
+STAGE_ORDER: Tuple[str, ...] = ("fetch", "dispatch", "issue",
+                                "writeback", "retire")
+
+#: Lazy slot -> owning stage: the stage that writes the value before
+#: any later stage can observe the instruction.  This is the
+#: machine-readable image of the :class:`DynInstr` docstring contract;
+#: ``repro check``'s SLOT201 verifies it stays equal to
+#: ``__slots__`` minus the fields ``__init__`` assigns.
+SLOT_OWNERS: Dict[str, str] = {
+    "frontend_ready": "fetch",
+    # dispatch (IQ dispatch, shelf dispatch, and the LSQ hooks)
+    "src_tags": "dispatch", "dest_tag": "dispatch", "dest_pri": "dispatch",
+    "prev_tag": "dispatch", "order_idx": "dispatch",
+    "dispatch_cycle": "dispatch",
+    "rob_idx": "dispatch", "shelf_squash_idx": "dispatch",
+    "waiting_store": "dispatch", "wake_waits": "dispatch",
+    "shelf_idx": "dispatch", "last_iq_rob_idx": "dispatch",
+    "first_in_run": "dispatch", "ssr_copied": "dispatch",
+    "lq_slot": "dispatch", "sq_slot": "dispatch",
+    "retry_after": "dispatch",
+    # issue
+    "issue_cycle": "issue", "complete_cycle": "issue",
+    "mem_latency": "issue", "forwarded_from": "issue",
+    "forwarded_seq": "issue", "speculative_load": "issue",
+    # retire
+    "retire_cycle": "retire",
+}
+
+#: The declared lazy set: slots deliberately left unset by ``__init__``.
+LAZY_SLOTS = frozenset(SLOT_OWNERS)
+
+#: Lazy slots the owning stage only writes on *some* paths (IQ-only,
+#: shelf-only, loads-only, mode-gated...).  Even a correctly-staged
+#: reader may observe them unset, so diagnostic modules (the sanitizer,
+#: analysis tools) must probe every lazy slot through
+#: :func:`slot_or_none` — ``repro check``'s SLOT203.
+CONDITIONAL_SLOTS = frozenset({
+    "rob_idx", "shelf_squash_idx", "waiting_store", "wake_waits",  # IQ
+    "shelf_idx", "last_iq_rob_idx", "first_in_run", "ssr_copied",  # shelf
+    "lq_slot", "sq_slot", "retry_after",                           # LSQ
+    "mem_latency", "forwarded_from", "forwarded_seq",              # loads
+    "speculative_load",
+})
+
+
+def slot_or_none(dyn: "DynInstr", name: str, default=None):
+    """Diagnostic read of a lazily-written slot, defaulting when the
+    owning stage never ran.
+
+    The one sanctioned way for diagnostic readers (the sanitizer's
+    shelf audit, the retire log's ``forwarded_seq``, LQ violation
+    scans) to probe a slot on an instruction whose owning stage may
+    have been skipped.  Asserts the slot really is in the declared lazy
+    set, so a typo'd or newly-eager field fails loudly instead of
+    silently defaulting forever.
+    """
+    assert name in LAZY_SLOTS, \
+        f"{name!r} is not a declared lazy DynInstr slot"
+    return getattr(dyn, name, default)
 
 
 class DynInstr:
@@ -32,19 +96,22 @@ class DynInstr:
     * ``frontend_ready`` — fetch, immediately after construction;
     * ``src_tags``/``dest_tag``/``dest_pri``/``prev_tag``/``order_idx``/
       ``dispatch_cycle`` — dispatch (readers only see dispatched instrs);
-    * ``rob_idx``/``shelf_squash_idx``/``waiting_store`` — IQ dispatch;
+    * ``rob_idx``/``shelf_squash_idx``/``waiting_store``/``wake_waits``
+      — IQ dispatch;
       ``shelf_idx``/``last_iq_rob_idx``/``first_in_run``/``ssr_copied`` —
       shelf dispatch; ``lq_slot``/``sq_slot``/``retry_after`` — the LSQ
       dispatch hooks;
-    * ``issue_cycle``/``complete_cycle``/``wake_waits``/
-      ``speculative_load``/``mem_latency``/``forwarded_from``/
-      ``forwarded_seq`` — issue;
+    * ``issue_cycle``/``complete_cycle``/``speculative_load``/
+      ``mem_latency``/``forwarded_from``/``forwarded_seq`` — issue;
     * ``retire_cycle`` — retire.
 
-    Diagnostic readers that may legitimately probe a field on an
-    instruction whose owning stage never ran (the sanitizer's shelf
-    audit, the retire log's ``forwarded_seq``, LQ violation scans) use
-    ``getattr(..., default)``.
+    The machine-readable image of this contract lives in
+    :data:`SLOT_OWNERS` / :data:`CONDITIONAL_SLOTS` above, and ``repro
+    check`` (SLOT201–204) keeps the two in sync with the actual reads
+    and writes.  Diagnostic readers that may legitimately probe a field
+    on an instruction whose owning stage never ran (the sanitizer's
+    shelf audit, the retire log's ``forwarded_seq``, LQ violation
+    scans) use :func:`slot_or_none`.
     """
 
     __slots__ = (
@@ -57,8 +124,7 @@ class DynInstr:
         "issued", "executed", "completed", "retired", "squashed",
         "mem_latency", "forwarded_from", "forwarded_seq",
         "speculative_load", "retry_after",
-        "lq_slot", "sq_slot", "waiting_store",
-        "classified_in_sequence", "wake_waits",
+        "lq_slot", "sq_slot", "waiting_store", "wake_waits",
     )
 
     def __init__(self, tid: int, seq: int, gseq: int,

@@ -33,9 +33,9 @@ either way (see ``docs/performance.md`` and
 from __future__ import annotations
 
 import heapq
-import os
 from typing import TYPE_CHECKING
 
+from repro import envvars
 from repro.core.scoreboard import UNWRITTEN
 from repro.isa.opcodes import OpClass
 
@@ -47,9 +47,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: "No scheduled event" sentinel — beyond any reachable cycle count.
 INFINITY = 1 << 62
 
-#: ``$REPRO_FASTFORWARD`` values that disable fast-forward.
-_OFF = {"0", "off", "false", "no"}
-
 
 def fastforward_enabled() -> bool:
     """Is event-driven fast-forward requested (default: yes)?
@@ -60,8 +57,7 @@ def fastforward_enabled() -> bool:
     the mode must not enter result-store digests, exactly like
     ``REPRO_SANITIZE``.
     """
-    return os.environ.get("REPRO_FASTFORWARD", "1").strip().lower() \
-        not in _OFF
+    return envvars.enabled("REPRO_FASTFORWARD")
 
 
 class EventHorizon:

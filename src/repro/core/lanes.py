@@ -65,10 +65,10 @@ digests.
 
 from __future__ import annotations
 
-import os
 from heapq import heappush, heappop
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro import envvars
 from repro.core.dynamic import DynInstr
 from repro.core.scoreboard import UNWRITTEN
 from repro.core.steering import (IQOnlySteering, ShelfOnlySteering,
@@ -80,10 +80,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.pipeline import Pipeline
     from repro.core.thread_context import ThreadContext
 
-#: ``$REPRO_LANES`` values that disable the lane engine.
-_OFF = {"0", "off", "false", "no"}
-
-
 def lanes_enabled() -> bool:
     """Is the flat-lane engine requested (default: yes)?
 
@@ -93,11 +89,52 @@ def lanes_enabled() -> bool:
     the mode must not enter result-store digests, exactly like
     ``REPRO_FASTFORWARD`` and ``REPRO_SANITIZE``.
     """
-    return os.environ.get("REPRO_LANES", "1").strip().lower() not in _OFF
+    return envvars.enabled("REPRO_LANES")
 
+
+#: Every :class:`DynInstr` field the object engines (``pipeline.py`` /
+#: ``steering.py``) read on hot paths, mapped to the flat lanes that
+#: mirror it — or to ``()`` for fields the lane engine leaves
+#: object-resident and reads/writes through the ``DynInstr`` itself
+#: (write-through; see the module docstring).  ``repro check``'s
+#: LANE301 demands that every hot field read appears here, LANE302 that
+#: every named lane exists in :class:`LaneEngine` — so removing an
+#: entry (or a lane) fails CI instead of silently desynchronizing the
+#: two implementations.  Properties (``is_load`` ...) map to the opcode
+#: lane they are derived from.
+LANE_REGISTRY: Dict[str, Tuple[str, ...]] = {
+    # lane-mirrored fields
+    "op": ("opk",), "is_load": ("opk",), "is_store": ("opk",),
+    "is_mem": ("opk",), "is_branch": ("opk",),
+    "latency": ("lat",),
+    "tid": ("tidl",),
+    "src_tags": ("src1", "src2", "src3", "nsrc"),
+    "dest_tag": ("dest",),
+    "prev_tag": ("prev",),
+    "retry_after": ("retry",),
+    "wake_waits": ("waits",),
+    "shelf_idx": ("shelfv",),
+    # object-resident fields (lane mode writes through to the DynInstr)
+    "seq": (), "gseq": (), "instr": (), "rename": (),
+    "frontend_ready": (), "mispredicted": (), "to_shelf": (),
+    "dest_pri": (), "rob_idx": (), "last_iq_rob_idx": (),
+    "shelf_squash_idx": (), "first_in_run": (), "ssr_copied": (),
+    "order_idx": (), "steer_cached": (),
+    "dispatch_cycle": (), "issue_cycle": (), "complete_cycle": (),
+    "retire_cycle": (),
+    "issued": (), "executed": (), "completed": (), "retired": (),
+    "squashed": (),
+    "mem_latency": (), "forwarded_from": (), "forwarded_seq": (),
+    "speculative_load": (), "lq_slot": (), "sq_slot": (),
+    "waiting_store": (),
+}
+
+#: Lanes with no DynInstr counterpart: engine-internal scheduling state.
+INTERNAL_LANES: Tuple[str, ...] = ("ssrseg", "iqp")
 
 #: Opcode kind -> FU group column (int_alu, int_muldiv, fp, mem), the
-#: integer image of :data:`repro.isa.opcodes._FU_GROUP`.
+#: integer image of :data:`repro.isa.opcodes._FU_GROUP`.  ``repro
+#: check``'s LANE303 verifies this agrees with the opcodes module.
 _FU_GROUP_OF = (0, 1, 1, 2, 2, 2, 3, 3, 0, 0)
 _FU_GROUP_NAMES = ("int_alu", "int_muldiv", "fp", "mem")
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List, Optional
 
-from repro.core.dynamic import DynInstr
+from repro.core.dynamic import DynInstr, slot_or_none
 
 
 def _overlap(a: DynInstr, b: DynInstr) -> bool:
@@ -257,7 +257,7 @@ class LoadStoreQueues:
             if not _overlap(ld, store):
                 continue
             # Loads that issued without forwarding never wrote the field.
-            fwd = getattr(ld, "forwarded_from", None)
+            fwd = slot_or_none(ld, "forwarded_from")
             if fwd is None or fwd < store.gseq:
                 if worst is None or ld.seq < worst.seq:
                     worst = ld

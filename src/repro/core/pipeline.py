@@ -20,7 +20,7 @@ import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import CoreConfig
-from repro.core.dynamic import DynInstr
+from repro.core.dynamic import DynInstr, slot_or_none
 from repro.core.horizon import EventHorizon, fastforward_enabled
 from repro.core.lanes import LaneEngine, lanes_enabled
 from repro.core.stats import EventCounts, SimResult, ThreadResult
@@ -439,7 +439,7 @@ class Pipeline:
                 "to_shelf": dyn.to_shelf,
                 "dispatch": dyn.dispatch_cycle, "issue": dyn.issue_cycle,
                 "complete": dyn.complete_cycle, "retire": cycle,
-                "forwarded_seq": getattr(dyn, "forwarded_seq", None),
+                "forwarded_seq": slot_or_none(dyn, "forwarded_seq"),
             })
 
     # ------------------------------------------------------------------

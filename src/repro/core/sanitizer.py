@@ -35,8 +35,10 @@ to prove exactly that.
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from repro import envvars
+from repro.core.dynamic import slot_or_none
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.config import CoreConfig
@@ -44,15 +46,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.pipeline import Pipeline
     from repro.core.thread_context import ThreadContext
 
-#: ``$REPRO_SANITIZE`` values that leave the sanitizer off.
-_OFF = {"", "0", "off", "false", "no"}
-
 
 def sanitize_enabled(config: Optional["CoreConfig"] = None) -> bool:
     """Is the sanitizer requested, by config flag or environment?"""
     if config is not None and getattr(config, "sanitize", False):
         return True
-    return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in _OFF
+    return envvars.enabled("REPRO_SANITIZE")
 
 
 class SanitizerError(RuntimeError):
@@ -118,14 +117,14 @@ class Sanitizer:
                 f"issued {dyn!r} is not the FIFO head "
                 f"{thread.shelf.head!r} — shelf issue left program order")
         last = self._last_shelf_issue.get(thread.tid)
-        if last is not None and dyn.shelf_idx is not None and \
-                dyn.shelf_idx <= last:
+        shelf_idx = slot_or_none(dyn, "shelf_idx")
+        if last is not None and shelf_idx is not None and shelf_idx <= last:
             raise SanitizerError(
                 "shelf", thread.tid, cycle,
-                f"shelf issue order regressed: index {dyn.shelf_idx} "
+                f"shelf issue order regressed: index {shelf_idx} "
                 f"after {last}")
-        if dyn.shelf_idx is not None:
-            self._last_shelf_issue[thread.tid] = dyn.shelf_idx
+        if shelf_idx is not None:
+            self._last_shelf_issue[thread.tid] = shelf_idx
 
     def note_shelf_squash(self, thread: "ThreadContext",
                           min_idx: int) -> None:
@@ -185,40 +184,44 @@ class Sanitizer:
                 # Shelf instructions never pass through the stages that
                 # write rob_idx / lq_slot / sq_slot, so probe with
                 # defaults (DynInstr's write-before-read contract).
-                if getattr(dyn, "rob_idx", None) is not None:
+                rob_idx = slot_or_none(dyn, "rob_idx")
+                if rob_idx is not None:
                     raise SanitizerError(
                         "shelf", thread.tid, cycle,
                         f"{dyn!r} allocated issue-tracker index "
-                        f"{dyn.rob_idx} despite steering to the shelf")
+                        f"{rob_idx} despite steering to the shelf")
                 if rec.arch is not None and rec.pri != rec.prev_pri:
                     raise SanitizerError(
                         "shelf", thread.tid, cycle,
                         f"{dyn!r} allocated a fresh physical register "
                         f"({rec.prev_pri} -> {rec.pri}); shelf renames "
                         f"must reuse the current PRI")
-                if getattr(dyn, "lq_slot", False):
+                if slot_or_none(dyn, "lq_slot", False):
                     raise SanitizerError(
                         "shelf", thread.tid, cycle,
                         f"shelf load {dyn!r} holds an LQ slot")
-                if getattr(dyn, "sq_slot", False) and \
+                if slot_or_none(dyn, "sq_slot", False) and \
                         not (tso and dyn.is_store):
                     raise SanitizerError(
                         "shelf", thread.tid, cycle,
                         f"shelf instruction {dyn!r} holds an SQ slot "
                         f"outside the TSO model")
-            if dyn.dest_tag is None:
+            dest_tag = slot_or_none(dyn, "dest_tag")
+            if dest_tag is None:
                 continue
-            if not dyn.issued and not sb.is_unwritten(dyn.dest_tag):
+            if not dyn.issued and not sb.is_unwritten(dest_tag):
                 raise SanitizerError(
                     "scoreboard", thread.tid, cycle,
-                    f"un-issued {dyn!r} has tag {dyn.dest_tag} marked "
-                    f"ready at {sb.ready_at(dyn.dest_tag)}")
-            if dyn.issued and sb.ready_at(dyn.dest_tag) != dyn.complete_cycle:
+                    f"un-issued {dyn!r} has tag {dest_tag} marked "
+                    f"ready at {sb.ready_at(dest_tag)}")
+            if dyn.issued and \
+                    sb.ready_at(dest_tag) != slot_or_none(dyn,
+                                                          "complete_cycle"):
                 raise SanitizerError(
                     "scoreboard", thread.tid, cycle,
-                    f"issued {dyn!r} tag {dyn.dest_tag} ready at "
-                    f"{sb.ready_at(dyn.dest_tag)}, expected its completion "
-                    f"cycle {dyn.complete_cycle}")
+                    f"issued {dyn!r} tag {dest_tag} ready at "
+                    f"{sb.ready_at(dest_tag)}, expected its completion "
+                    f"cycle {slot_or_none(dyn, 'complete_cycle')}")
 
     def _check_tag_space(self, cycle: int) -> None:
         """Tag uniqueness among in-flight writers and id conservation
@@ -231,14 +234,15 @@ class Sanitizer:
             for dyn in thread.in_flight:
                 if dyn.squashed or dyn.rename is None:
                     continue
-                if dyn.dest_tag is not None:
-                    clash = owner.get(dyn.dest_tag)
+                dest_tag = slot_or_none(dyn, "dest_tag")
+                if dest_tag is not None:
+                    clash = owner.get(dest_tag)
                     if clash is not None:
                         raise SanitizerError(
                             "tags", thread.tid, cycle,
-                            f"destination tag {dyn.dest_tag} shared by "
+                            f"destination tag {dest_tag} shared by "
                             f"in-flight writers {clash!r} and {dyn!r}")
-                    owner[dyn.dest_tag] = dyn
+                    owner[dest_tag] = dyn
                 rec = dyn.rename
                 for ident in (rec.pri, rec.prev_pri, rec.tag, rec.prev_tag):
                     if ident is None:

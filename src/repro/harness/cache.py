@@ -31,14 +31,12 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import envvars
 from repro.core.config import CoreConfig
 from repro.core.stats import SimResult
 
 #: bump when the on-disk record layout changes incompatibly.
-SCHEMA_VERSION = 1
-
-#: ``$REPRO_CACHE_DIR`` values that disable the persistent store.
-_DISABLED = {"", "0", "off", "none", "disabled"}
+SCHEMA_VERSION = 2
 
 #: everything a truncated or version-skewed pickle can raise on load:
 #: I/O errors, short reads, bad opcodes/containers, and stale references
@@ -73,18 +71,42 @@ def simulator_salt() -> str:
     return _salt
 
 
+#: :class:`CoreConfig` fields that select an execution *mode* rather
+#: than simulated behaviour — results are bit-identical whichever way
+#: they are set, so they must never differentiate digests.  ``repro
+#: check``'s DIG501 rule enforces that digest-scope code only reaches
+#: config values through :func:`digest_config_dict`, which strips these.
+MODE_FLAG_FIELDS: Tuple[str, ...] = ("sanitize",)
+
+
+def digest_config_dict(config: CoreConfig) -> Dict[str, object]:
+    """The digest view of a configuration: every field value,
+    recursively, minus the :data:`MODE_FLAG_FIELDS`.
+
+    This is the one sanctioned ``asdict`` call site in digest scope —
+    a bare ``asdict(config)`` in a digest function would leak mode
+    flags into the content address (and DIG501 flags it).
+    """
+    values = asdict(config)
+    for field in MODE_FLAG_FIELDS:
+        values.pop(field, None)
+    return values
+
+
 def point_digest(config: CoreConfig, benchmarks: Tuple[str, ...],
                  length: int, seed: int, stop: str) -> str:
     """Stable content digest of one simulation point.
 
-    Built from the *values* of every configuration field (recursively,
-    including the cache hierarchy), so two structurally-equal configs
-    digest identically across processes and interpreter runs.
+    Built from the *values* of every behaviour-defining configuration
+    field (recursively, including the cache hierarchy), so two
+    structurally-equal configs digest identically across processes and
+    interpreter runs.  Mode flags are excluded: a sanitized run must be
+    a store hit for an unsanitized one and vice versa.
     """
     payload = json.dumps({
         "schema": SCHEMA_VERSION,
         "salt": simulator_salt(),
-        "config": asdict(config),
+        "config": digest_config_dict(config),
         "benchmarks": list(benchmarks),
         "length": length,
         "seed": seed,
@@ -229,9 +251,9 @@ _store_resolved = False
 
 def store_dir() -> Optional[Path]:
     """Resolve the store directory from the environment (None = disabled)."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    env = envvars.raw("REPRO_CACHE_DIR")
     if env is not None:
-        if env.strip().lower() in _DISABLED:
+        if env.strip().lower() in envvars.OFF_VALUES:
             return None
         return Path(env).expanduser()
     xdg = os.environ.get("XDG_CACHE_HOME")

@@ -27,6 +27,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
+from repro import envvars
 from repro.core.config import CoreConfig
 from repro.core.pipeline import Pipeline
 from repro.core.stats import SimResult
@@ -50,7 +51,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs is None:
         jobs = _default_jobs
     if jobs is None:
-        env = os.environ.get("REPRO_JOBS", "").strip()
+        env = (envvars.raw("REPRO_JOBS") or "").strip()
         if env:
             try:
                 jobs = int(env)

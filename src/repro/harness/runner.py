@@ -17,10 +17,10 @@ makes STP directly comparable across configurations (and makes the 1- and
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from repro import envvars
 from repro.core.config import CoreConfig
 from repro.core.stats import SimResult
 from repro.harness import cache as _cache
@@ -52,7 +52,7 @@ SCALES = {
 def get_scale(name: Optional[str] = None) -> RunScale:
     """Resolve the run scale: explicit name, else ``$REPRO_SCALE``, else
     ``default``."""
-    key = name or os.environ.get("REPRO_SCALE", "default")
+    key = name or envvars.raw("REPRO_SCALE")
     try:
         return SCALES[key]
     except KeyError:

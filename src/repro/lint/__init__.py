@@ -1,27 +1,50 @@
-"""Determinism lint for the simulator (``python -m repro lint``).
+"""Static analysis for the simulator: lint + contract passes.
 
-A small AST-based lint pass with simulator-specific rules: the timing
-model must be bit-reproducible (PR 1 made cached records a hard
-requirement), so nondeterminism sources, unordered per-cycle iteration,
-mutable defaults, broad exception handlers, and float equality are all
-reportable defects.  See :mod:`repro.lint.rules` for the rule catalogue
-and :mod:`repro.lint.engine` for the driver and the
-``# repro-lint: disable=CODE`` suppression syntax.
+Two entry points share one framework:
+
+* ``python -m repro lint`` — the per-file determinism rules (DET1xx):
+  nondeterminism sources, unordered per-cycle iteration, mutable
+  defaults, broad exception handlers, float equality.  See
+  :mod:`repro.lint.rules`.
+* ``python -m repro check`` — everything ``lint`` does, plus the
+  whole-project contract passes built on the shared
+  :mod:`~repro.lint.model` / :mod:`~repro.lint.dataflow` layers:
+  SLOT2xx (``DynInstr`` write-before-read slot contract), LANE3xx
+  (object/lane engine drift), ASY4xx (service async-safety), DIG5xx
+  (digest mode-flag purity).  See :mod:`repro.lint.check` for the
+  driver (baseline file, ``--output json|sarif``, ``--explain``).
+
+Both honor inline waivers: ``# repro-lint: disable=CODE`` (the
+historical spelling) and ``# repro-lint: waive=CODE`` (preferred for
+contract findings) on the reported line.
 """
 
+from repro.lint.check import check_paths, check_sources, explain
+from repro.lint.check import main as check_main
 from repro.lint.engine import (lint_file, lint_paths, lint_source, main,
-                               package_of, suppressions)
+                               package_of, sort_violations, suppressions)
+from repro.lint.model import ModuleInfo, ProjectModel
+from repro.lint.passes import ProjectPass, all_passes
 from repro.lint.rules import ALL_RULES, FileContext, Rule, Violation
 
 __all__ = [
     "ALL_RULES",
     "FileContext",
+    "ModuleInfo",
+    "ProjectModel",
+    "ProjectPass",
     "Rule",
     "Violation",
+    "all_passes",
+    "check_main",
+    "check_paths",
+    "check_sources",
+    "explain",
     "lint_file",
     "lint_paths",
     "lint_source",
     "main",
     "package_of",
+    "sort_violations",
     "suppressions",
 ]

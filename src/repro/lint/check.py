@@ -1,0 +1,296 @@
+"""``repro check``: the aggregated contract-analysis driver.
+
+Runs everything ``repro lint`` runs (the per-file DET1xx determinism
+rules) *plus* the whole-project contract passes (SLOT2xx, LANE3xx,
+ASY4xx, DIG5xx) over one shared :class:`~repro.lint.model.ProjectModel`,
+then reports through a common pipeline: inline waivers
+(``# repro-lint: waive=CODE``), an optional committed baseline for
+grandfathered findings, canonical (path, line, col, code) ordering, and
+``text`` / ``json`` / ``sarif`` output.
+
+Exit status matches ``repro lint``: 0 clean (after waivers and
+baseline), 1 when findings remain, 2 on usage errors.  CI runs
+``python -m repro check src tests --output sarif`` and gates on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import (iter_python_files, lint_source,
+                               sort_violations, suppressions)
+from repro.lint.model import ProjectModel
+from repro.lint.passes import ProjectPass, all_passes
+from repro.lint.rules import ALL_RULES, Violation
+
+#: default committed-baseline location (repo root, next to pyproject).
+DEFAULT_BASELINE = Path(".repro-check-baseline.json")
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+# ----------------------------------------------------------------------
+# analysis
+# ----------------------------------------------------------------------
+
+def check_sources(sources: Dict[str, str],
+                  passes: Optional[Sequence[ProjectPass]] = None
+                  ) -> List[Violation]:
+    """Run lint rules + contract passes over ``{path: source}`` (the
+    testable core).  Waivers are applied; baseline is not."""
+    out: List[Violation] = []
+    for path, source in sources.items():
+        out.extend(lint_source(source, path))
+
+    model = ProjectModel.from_sources(sources)
+    waived: Dict[str, Dict[int, Set[str]]] = {
+        path: suppressions(source) for path, source in sources.items()}
+
+    def is_waived(violation: Violation) -> bool:
+        by_line = waived.get(violation.path)
+        if by_line is None:
+            # Pass findings can anchor on a contract module pulled in
+            # from the installed tree (e.g. `repro check tests`); honor
+            # its inline waivers too.
+            try:
+                text = Path(violation.path).read_text(encoding="utf-8")
+            except OSError:
+                text = ""
+            by_line = waived[violation.path] = suppressions(text)
+        codes = by_line.get(violation.line)
+        return bool(codes) and ("all" in codes or violation.code in codes)
+
+    for project_pass in (passes if passes is not None else all_passes()):
+        for violation in project_pass.run(model):
+            if not is_waived(violation):
+                out.append(violation)
+    return sort_violations(out)
+
+
+def check_paths(paths: Iterable[Path],
+                passes: Optional[Sequence[ProjectPass]] = None
+                ) -> List[Violation]:
+    files = iter_python_files(paths)
+    sources = {str(p): p.read_text(encoding="utf-8") for p in files}
+    return check_sources(sources, passes)
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+
+def baseline_keys(path: Path) -> Optional[Set[Tuple[str, str, str]]]:
+    """Grandfathered (path, code, message) triples, or None when the
+    file does not exist.  Line numbers are deliberately excluded so
+    unrelated edits above a baselined finding don't un-baseline it."""
+    if not path.is_file():
+        return None
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return {(e["path"], e["code"], e["message"])
+            for e in data.get("entries", [])}
+
+
+def write_baseline(path: Path, violations: List[Violation]) -> None:
+    entries = [{"path": v.path, "code": v.code, "message": v.message}
+               for v in violations]
+    payload = {
+        "comment": ("grandfathered `repro check` findings; shrink, "
+                    "never grow — remove entries as they are fixed"),
+        "entries": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def apply_baseline(violations: List[Violation],
+                   keys: Optional[Set[Tuple[str, str, str]]]
+                   ) -> Tuple[List[Violation], int]:
+    """(remaining findings, count suppressed by the baseline)."""
+    if not keys:
+        return violations, 0
+    remaining = [v for v in violations
+                 if (v.path, v.code, v.message) not in keys]
+    return remaining, len(violations) - len(remaining)
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+
+def _rule_catalog() -> List[Tuple[str, str, str, str]]:
+    """(code, title, hint, explain) for every rule and pass."""
+    out = [(r.code, r.title, r.hint, (r.__doc__ or "").strip())
+           for r in ALL_RULES]
+    out += [(p.code, p.title, p.hint, p.explain) for p in all_passes()]
+    return out
+
+
+def explain(code: str) -> Optional[str]:
+    for rule_code, title, hint, text in _rule_catalog():
+        if rule_code == code.upper():
+            return (f"{rule_code}: {title}\n\n{text}\n\nfix: {hint}"
+                    if text else f"{rule_code}: {title}\n\nfix: {hint}")
+    return None
+
+
+def render_text(violations: List[Violation], files_checked: int,
+                baselined: int) -> str:
+    lines = [v.format() for v in violations]
+    if violations:
+        lines.append("")
+        lines.append(
+            f"repro check: {len(violations)} finding(s) in "
+            f"{len({v.path for v in violations})} file(s) "
+            f"({files_checked} checked"
+            + (f", {baselined} baselined" if baselined else "") + ")")
+    else:
+        lines.append(
+            f"repro check: clean ({files_checked} files checked"
+            + (f", {baselined} baselined" if baselined else "") + ")")
+    return "\n".join(lines)
+
+
+def render_json(violations: List[Violation], files_checked: int,
+                baselined: int) -> str:
+    return json.dumps({
+        "tool": "repro-check",
+        "files_checked": files_checked,
+        "baselined": baselined,
+        "findings": [
+            {"path": v.path, "line": v.line, "col": v.col,
+             "code": v.code, "message": v.message, "hint": v.hint}
+            for v in violations],
+    }, indent=2) + "\n"
+
+
+def render_sarif(violations: List[Violation]) -> str:
+    rules = [{
+        "id": code,
+        "shortDescription": {"text": title},
+        "help": {"text": (text + "\n\nfix: " + hint).strip()},
+    } for code, title, hint, text in _rule_catalog()]
+    results = [{
+        "ruleId": v.code,
+        "level": "error",
+        "message": {"text": f"{v.message} (fix: {v.hint})"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": v.path.replace("\\", "/"),
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {"startLine": v.line, "startColumn": v.col},
+            },
+        }],
+    } for v in violations]
+    return json.dumps({
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-check",
+                "informationUri": "https://example.invalid/repro-check",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }, indent=2) + "\n"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def _default_paths() -> List[Path]:
+    defaults = [p for p in (Path("src"), Path("tests")) if p.is_dir()]
+    return defaults or [Path(".")]
+
+
+def _list_rules() -> str:
+    lines = ["repro check rules (DET via `repro lint`, the rest are "
+             "contract passes):"]
+    for code, title, hint, _ in _rule_catalog():
+        lines.append(f"  {code}  {title}")
+        lines.append(f"          fix: {hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="contract analysis: determinism lint + slot/lane/"
+                    "async/digest passes")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: src tests)")
+    parser.add_argument("--output", choices=("text", "json", "sarif"),
+                        default="text", help="report format")
+    parser.add_argument("--output-file", type=Path, default=None,
+                        help="write the report here (text summary still "
+                             "goes to stdout)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings too")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--explain", metavar="CODE", default=None,
+                        help="print the rationale for one rule and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.explain:
+        text = explain(args.explain)
+        if text is None:
+            print(f"error: unknown rule code {args.explain!r}",
+                  file=sys.stderr)
+            return 2
+        print(text)
+        return 0
+
+    paths = args.paths or _default_paths()
+    try:
+        files = iter_python_files(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sources = {str(p): p.read_text(encoding="utf-8") for p in files}
+    violations = check_sources(sources)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, violations)
+        print(f"repro check: wrote {len(violations)} finding(s) to "
+              f"{args.baseline}")
+        return 0
+
+    keys = None if args.no_baseline else baseline_keys(args.baseline)
+    violations, baselined = apply_baseline(violations, keys)
+
+    if args.output == "sarif":
+        report = render_sarif(violations)
+    elif args.output == "json":
+        report = render_json(violations, len(files), baselined)
+    else:
+        report = render_text(violations, len(files), baselined)
+
+    if args.output_file is not None:
+        args.output_file.write_text(report, encoding="utf-8")
+        print(render_text(violations, len(files), baselined))
+    else:
+        print(report, end="" if report.endswith("\n") else "\n")
+
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,379 @@
+"""Per-function attribute dataflow over the AST.
+
+The contract passes need two things no single-node walk provides:
+
+* **receiver typing** — is ``x`` in ``x.retry_after`` a
+  :class:`~repro.core.dynamic.DynInstr`?  Resolved from parameter
+  annotations, known constructors, typed containers (``thread.rob``,
+  ``pipe.iq`` ...), result-returning attributes/methods
+  (``thread.shelf.head``, ``lsq.violation_load(...)``), and — last —
+  the ``dyn`` naming convention the codebase uses everywhere;
+* **must-assign analysis** — is a read of ``dyn.f`` *dominated* by a
+  write to ``dyn.f`` on every path through the function?  A forward
+  walk carries the definitely-assigned ``(receiver, attr)`` set,
+  intersecting at branch joins and treating loop bodies as a single
+  linear pass (writes earlier in the body cover later reads in it, but
+  nothing escapes to the code after the loop — the loop may run zero
+  times).
+
+Both analyses are deliberately conservative *toward reporting*: an
+unknown receiver is simply not a ``DynInstr`` (no finding), and an
+uncertain domination is "not dominated" (a finding, reviewable via
+waiver).  The product is a flat list of :class:`Access` records the
+passes filter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+#: attribute names that hold a list/deque of DynInstr (any receiver
+#: depth: ``thread.rob``, ``pipe.iq``, ``self.dyn_of`` ...).
+CONTAINER_ATTRS = frozenset({
+    "rob", "in_flight", "frontend", "iq", "lq", "sq", "dyn_of",
+    "shelf_wb_pending", "_ready_iq", "ready", "ready_ld",
+})
+
+#: attribute reads that yield one DynInstr (``thread.shelf.head``).
+RESULT_ATTRS = frozenset({"head", "pending_branch"})
+
+#: method calls that return a DynInstr or None.
+RESULT_CALLS = frozenset({
+    "violation_load", "find_forwarding_store", "find_forwarding_load",
+})
+
+#: the naming convention: a variable named ``dyn`` is a DynInstr unless
+#: the flow analysis proved otherwise.
+NAME_FALLBACK = frozenset({"dyn"})
+
+#: functions that perform a *guarded* (defaulted) slot read.
+GUARDED_READERS = frozenset({"slot_or_none"})
+
+_DYN = "dyn"
+_DYNLIST = "dynlist"
+
+
+@dataclass
+class Access:
+    """One attribute access on a named receiver."""
+
+    node: ast.AST          #: carries lineno/col_offset for reporting
+    recv: str              #: receiver variable name
+    attr: str
+    is_write: bool
+    #: read through getattr-with-default / slot_or_none
+    guarded: bool
+    #: a write to the same (recv, attr) definitely precedes this read
+    #: on every path through the function
+    dominated: bool
+    #: receiver resolved to DynInstr
+    recv_is_dyn: bool
+
+
+def _annotation_is_dyn(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except (ValueError, AttributeError):  # pragma: no cover - old ast
+        return False
+    return "DynInstr" in text
+
+
+class _FunctionFlow:
+    """One forward walk over a function body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.accesses: List[Access] = []
+        types: Dict[str, Optional[str]] = {}
+        args = getattr(func, "args", None)
+        if args is not None:
+            all_args = (list(args.posonlyargs) + list(args.args)
+                        + list(args.kwonlyargs))
+            for arg in all_args:
+                if _annotation_is_dyn(arg.annotation):
+                    types[arg.arg] = _DYN
+        self._walk_stmts(getattr(func, "body", []), types, set())
+
+    # -- typing --------------------------------------------------------
+
+    def _type_of(self, expr: Optional[ast.expr],
+                 types: Dict[str, Optional[str]]) -> Optional[str]:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Name):
+            got = types.get(expr.id)
+            if got is not None:
+                return got
+            # the naming convention outranks an inconclusive flow type:
+            # `_, _, dyn = heappop(heap)` still yields a DynInstr
+            return _DYN if expr.id in NAME_FALLBACK else None
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in RESULT_ATTRS:
+                return _DYN
+            if expr.attr in CONTAINER_ATTRS:
+                return _DYNLIST
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self._type_of(expr.value, types)
+            return _DYN if base == _DYNLIST else None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name):
+                if func.id == "DynInstr":
+                    return _DYN
+                if func.id in ("sorted", "list", "reversed") and expr.args:
+                    if self._type_of(expr.args[0], types) == _DYNLIST:
+                        return _DYNLIST
+            elif isinstance(func, ast.Attribute):
+                if func.attr in RESULT_CALLS:
+                    return _DYN
+                if func.attr == "copy" and \
+                        self._type_of(func.value, types) == _DYNLIST:
+                    return _DYNLIST
+            return None
+        if isinstance(expr, ast.IfExp):
+            body_t = self._type_of(expr.body, types)
+            orelse_t = self._type_of(expr.orelse, types)
+            return body_t if body_t == orelse_t else None
+        if isinstance(expr, ast.BoolOp):
+            kinds = {self._type_of(v, types) for v in expr.values}
+            return kinds.pop() if len(kinds) == 1 else None
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            scope = dict(types)
+            for gen in expr.generators:
+                self._bind_target(gen.target,
+                                  self._elem_type(gen.iter, scope), scope)
+            return _DYNLIST if self._type_of(expr.elt, scope) == _DYN \
+                else None
+        return None
+
+    def _elem_type(self, it: ast.expr,
+                   types: Dict[str, Optional[str]]) -> Optional[str]:
+        return _DYN if self._type_of(it, types) == _DYNLIST else None
+
+    def _bind_target(self, target: ast.expr, elem_type: Optional[str],
+                     types: Dict[str, Optional[str]]) -> None:
+        if isinstance(target, ast.Name):
+            types[target.id] = elem_type
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, None, types)
+
+    # -- access recording ----------------------------------------------
+
+    def _record(self, node: ast.AST, recv: str, attr: str, *,
+                is_write: bool, guarded: bool,
+                types: Dict[str, Optional[str]],
+                assigned: Set[Tuple[str, str]]) -> None:
+        recv_type = types.get(recv)
+        if recv_type is None and recv in NAME_FALLBACK:
+            recv_type = _DYN
+        self.accesses.append(Access(
+            node=node, recv=recv, attr=attr, is_write=is_write,
+            guarded=guarded, dominated=(recv, attr) in assigned,
+            recv_is_dyn=recv_type == _DYN))
+
+    # -- expressions ---------------------------------------------------
+
+    def _eval(self, expr: Optional[ast.expr],
+              types: Dict[str, Optional[str]],
+              assigned: Set[Tuple[str, str]]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name):
+                self._record(expr, expr.value.id, expr.attr,
+                             is_write=not isinstance(expr.ctx, ast.Load),
+                             guarded=False, types=types, assigned=assigned)
+            else:
+                self._eval(expr.value, types, assigned)
+            return
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            fname = func.id if isinstance(func, ast.Name) else None
+            if fname in GUARDED_READERS or fname == "getattr":
+                args = expr.args
+                if len(args) >= 2 and isinstance(args[0], ast.Name) and \
+                        isinstance(args[1], ast.Constant) and \
+                        isinstance(args[1].value, str):
+                    guarded = fname in GUARDED_READERS or len(args) >= 3
+                    self._record(expr, args[0].id, args[1].value,
+                                 is_write=False, guarded=guarded,
+                                 types=types, assigned=assigned)
+                    for extra in args[2:]:
+                        self._eval(extra, types, assigned)
+                    return
+            self._eval(func if not isinstance(func, ast.Name) else None,
+                       types, assigned)
+            for arg in expr.args:
+                self._eval(arg, types, assigned)
+            for kw in expr.keywords:
+                self._eval(kw.value, types, assigned)
+            return
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            scope = dict(types)
+            for gen in expr.generators:
+                self._eval(gen.iter, scope, assigned)
+                self._bind_target(gen.target,
+                                  self._elem_type(gen.iter, scope), scope)
+                for cond in gen.ifs:
+                    self._eval(cond, scope, assigned)
+            if isinstance(expr, ast.DictComp):
+                self._eval(expr.key, scope, assigned)
+                self._eval(expr.value, scope, assigned)
+            else:
+                self._eval(expr.elt, scope, assigned)
+            return
+        if isinstance(expr, ast.Lambda):
+            scope = dict(types)
+            for arg in expr.args.args:
+                scope[arg.arg] = None
+            self._eval(expr.body, scope, assigned)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._eval(child, types, assigned)
+
+    # -- statements ----------------------------------------------------
+
+    def _walk_stmts(self, stmts: List[ast.stmt],
+                    types: Dict[str, Optional[str]],
+                    assigned: Set[Tuple[str, str]]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, types, assigned)
+
+    @staticmethod
+    def _merge(types: Dict[str, Optional[str]],
+               assigned: Set[Tuple[str, str]],
+               branches: List[Tuple[Dict[str, Optional[str]],
+                                    Set[Tuple[str, str]]]]) -> None:
+        """Join *branches* back into (types, assigned) in place:
+        assignment facts survive only when every branch agrees."""
+        if not branches:
+            return
+        joined = set.intersection(*(b[1] for b in branches))
+        assigned.clear()
+        assigned.update(joined)
+        names = set(types)
+        for b_types, _ in branches:
+            names |= set(b_types)
+        types.clear()
+        for name in names:
+            kinds = {b_types.get(name) for b_types, _ in branches}
+            if len(kinds) == 1:
+                types[name] = kinds.pop()
+
+    def _write_targets(self, target: ast.expr,
+                       value_type: Optional[str],
+                       types: Dict[str, Optional[str]],
+                       assigned: Set[Tuple[str, str]]) -> None:
+        if isinstance(target, ast.Name):
+            types[target.id] = value_type
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name):
+                self._record(target, target.value.id, target.attr,
+                             is_write=True, guarded=False,
+                             types=types, assigned=assigned)
+                assigned.add((target.value.id, target.attr))
+            else:
+                self._eval(target.value, types, assigned)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._write_targets(elt, None, types, assigned)
+        elif isinstance(target, ast.Subscript):
+            self._eval(target.value, types, assigned)
+            self._eval(target.slice, types, assigned)
+        elif isinstance(target, ast.Starred):
+            self._write_targets(target.value, None, types, assigned)
+
+    def _walk_stmt(self, stmt: ast.stmt,
+                   types: Dict[str, Optional[str]],
+                   assigned: Set[Tuple[str, str]]) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._eval(stmt.value, types, assigned)
+            value_type = self._type_of(stmt.value, types)
+            for target in stmt.targets:
+                self._write_targets(target, value_type, types, assigned)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._eval(stmt.value, types, assigned)
+            value_type = self._type_of(stmt.value, types)
+            if value_type is None and _annotation_is_dyn(stmt.annotation):
+                value_type = _DYN
+            self._write_targets(stmt.target, value_type, types, assigned)
+        elif isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value, types, assigned)
+            target = stmt.target
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name):
+                # read-modify-write: record the read, then the write
+                self._record(target, target.value.id, target.attr,
+                             is_write=False, guarded=False,
+                             types=types, assigned=assigned)
+                self._record(target, target.value.id, target.attr,
+                             is_write=True, guarded=False,
+                             types=types, assigned=assigned)
+                assigned.add((target.value.id, target.attr))
+            else:
+                self._write_targets(target, None, types, assigned)
+        elif isinstance(stmt, (ast.If,)):
+            self._eval(stmt.test, types, assigned)
+            branches = []
+            for body in (stmt.body, stmt.orelse):
+                b_types, b_assigned = dict(types), set(assigned)
+                self._walk_stmts(body, b_types, b_assigned)
+                branches.append((b_types, b_assigned))
+            self._merge(types, assigned, branches)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._eval(stmt.iter, types, assigned)
+            b_types, b_assigned = dict(types), set(assigned)
+            self._bind_target(stmt.target,
+                              self._elem_type(stmt.iter, types), b_types)
+            self._walk_stmts(stmt.body, b_types, b_assigned)
+            self._walk_stmts(stmt.orelse, dict(types), set(assigned))
+            # the loop may run zero times: nothing escapes to the code
+            # after it, but the iteration variable's binding does
+            self._bind_target(stmt.target,
+                              self._elem_type(stmt.iter, types), types)
+        elif isinstance(stmt, (ast.While,)):
+            self._eval(stmt.test, types, assigned)
+            self._walk_stmts(stmt.body, dict(types), set(assigned))
+            self._walk_stmts(stmt.orelse, dict(types), set(assigned))
+        elif isinstance(stmt, ast.Try):
+            b_types, b_assigned = dict(types), set(assigned)
+            self._walk_stmts(stmt.body, b_types, b_assigned)
+            for handler in stmt.handlers:
+                self._walk_stmts(handler.body, dict(types), set(assigned))
+            self._walk_stmts(stmt.orelse, b_types, b_assigned)
+            self._walk_stmts(stmt.finalbody, types, assigned)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr, types, assigned)
+                if item.optional_vars is not None:
+                    self._write_targets(item.optional_vars, None,
+                                        types, assigned)
+            self._walk_stmts(stmt.body, types, assigned)
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            self._eval(stmt.value, types, assigned)
+        elif isinstance(stmt, ast.Raise):
+            self._eval(stmt.exc, types, assigned)
+            self._eval(stmt.cause, types, assigned)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, types, assigned)
+            self._eval(stmt.msg, types, assigned)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._eval(target, types, assigned)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # analyzed separately via iter_functions
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing to do
+
+
+def function_accesses(func: ast.AST) -> List[Access]:
+    """Every named-receiver attribute access in *func*, with receiver
+    typing and read-domination resolved (see the module docstring)."""
+    return _FunctionFlow(func).accesses

@@ -30,8 +30,13 @@ from repro.lint.rules import ALL_RULES, FileContext, Rule, Violation
 _SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache",
               "build", "dist"}
 
+#: ``disable=`` suppresses determinism-lint findings; ``waive=`` is the
+#: spelling ``repro check`` documents for contract-analysis findings
+#: (e.g. an audited hot-field read outside the lane registry).  Both
+#: are honored everywhere and may list several codes or ``all``.
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+    r"#\s*repro-lint:\s*(?:disable|waive)="
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
 
 
 def suppressions(source: str) -> Dict[int, Set[str]]:
@@ -107,13 +112,21 @@ def lint_file(path: Path,
     return lint_source(source, str(path), package_of(path), rules)
 
 
+def sort_violations(violations: List[Violation]) -> List[Violation]:
+    """Canonical report order: (path, line, col, code) — the stable
+    order baseline files and CI diffs rely on."""
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
 def lint_paths(paths: Iterable[Path],
                rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
-    """Lint every Python file under *paths*; violations in path order."""
+    """Lint every Python file under *paths*; violations sorted by
+    (path, line, col, code)."""
     out: List[Violation] = []
     for path in iter_python_files(paths):
         out.extend(lint_file(path, rules))
-    return out
+    return sort_violations(out)
 
 
 def _default_paths() -> List[Path]:
@@ -154,6 +167,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     violations: List[Violation] = []
     for path in files:
         violations.extend(lint_file(path))
+    sort_violations(violations)
 
     for violation in violations:
         print(violation.format())

@@ -1,0 +1,281 @@
+"""Shared project model for the multi-pass contract analysis.
+
+`repro check`'s rule families reason about *cross-function* and
+*cross-module* properties — which stage writes which ``DynInstr`` slot,
+whether every hot field read has a lane, whether a mode flag can reach
+a digest.  A per-node AST pass cannot see those, so every pass runs
+over one :class:`ProjectModel`: all analyzed sources parsed once, plus
+symbol-level accessors (module lookup by path tail, literal
+module-level constants, class ``__slots__`` and ``__init__``
+assignments, the async-function index).
+
+The model is purely static — it never imports analyzed code.  When a
+pass needs a *contract module* (``core/dynamic.py``, ``core/lanes.py``,
+``isa/opcodes.py``) that the analyzed file set does not include (e.g.
+``repro check tests``), :meth:`ProjectModel.contract_module` falls back
+to parsing the installed ``repro`` package's own source from disk.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.engine import package_of
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: str                   #: path as given (reported in findings)
+    package: Optional[str]      #: ``repro`` subpackage, or None outside
+    source: str
+    tree: ast.Module
+
+    @property
+    def tail(self) -> str:
+        """``package/file.py`` identity, e.g. ``core/dynamic.py``."""
+        parts = Path(self.path).parts
+        return "/".join(parts[-2:]) if len(parts) >= 2 else self.path
+
+
+def _literal(node: ast.AST) -> object:
+    """``ast.literal_eval`` extended to ``frozenset({...})`` /
+    ``set(...)`` / ``tuple(...)`` wrapper calls; raises ``ValueError``
+    on anything non-literal."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("frozenset", "set", "tuple", "list") \
+            and not node.keywords and len(node.args) <= 1:
+        inner = _literal(node.args[0]) if node.args else ()
+        factory = {"frozenset": frozenset, "set": set,
+                   "tuple": tuple, "list": list}[node.func.id]
+        return factory(inner)  # type: ignore[arg-type]
+    return ast.literal_eval(node)
+
+
+class ProjectModel:
+    """All analyzed modules plus symbol-level accessors."""
+
+    def __init__(self, modules: List[ModuleInfo]) -> None:
+        self.modules = modules
+        self._by_tail: Dict[str, ModuleInfo] = {m.tail: m for m in modules}
+        self._contract_cache: Dict[str, Optional[ModuleInfo]] = {}
+        self._async_index: Optional[Dict[str, Set[str]]] = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "ProjectModel":
+        """Build from ``{path: source}`` (the testable entry point).
+        Files that fail to parse are skipped — the plain lint reports
+        their syntax errors."""
+        modules = []
+        for path, source in sorted(sources.items()):
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue
+            modules.append(ModuleInfo(path, package_of(Path(path)),
+                                      source, tree))
+        return cls(modules)
+
+    @classmethod
+    def from_paths(cls, paths: List[Path]) -> "ProjectModel":
+        return cls.from_sources(
+            {str(p): p.read_text(encoding="utf-8") for p in paths})
+
+    # -- module lookup -------------------------------------------------
+
+    def module(self, tail: str) -> Optional[ModuleInfo]:
+        """The analyzed module whose path ends with *tail*."""
+        got = self._by_tail.get(tail)
+        if got is not None:
+            return got
+        for mod in self.modules:
+            if mod.path.replace("\\", "/").endswith(tail):
+                return mod
+        return None
+
+    def contract_module(self, tail: str) -> Optional[ModuleInfo]:
+        """Like :meth:`module`, but falls back to the installed
+        ``repro`` source tree so contract passes can check e.g.
+        ``tests/`` against the real registries."""
+        got = self.module(tail)
+        if got is not None:
+            return got
+        if tail not in self._contract_cache:
+            self._contract_cache[tail] = self._load_installed(tail)
+        return self._contract_cache[tail]
+
+    @staticmethod
+    def _load_installed(tail: str) -> Optional[ModuleInfo]:
+        import repro
+        path = Path(repro.__file__).parent / tail
+        if not path.is_file():
+            return None
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            return None
+        return ModuleInfo(str(path), package_of(path), source, tree)
+
+    # -- symbol accessors ----------------------------------------------
+
+    @staticmethod
+    def module_literal(mod: ModuleInfo, name: str) -> object:
+        """The literal value of a module-level ``name = <literal>``
+        assignment (annotated or not); None when absent or non-literal."""
+        for node in mod.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    try:
+                        return _literal(value)
+                    except (ValueError, TypeError, SyntaxError):
+                        return None
+        return None
+
+    @staticmethod
+    def module_assignment(mod: ModuleInfo, name: str) -> Optional[ast.expr]:
+        """The value expression of a module-level assignment to *name*."""
+        for node in mod.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return node.value
+            elif isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name) and \
+                    node.target.id == name:
+                return node.value
+        return None
+
+    @staticmethod
+    def class_def(mod: ModuleInfo, name: str) -> Optional[ast.ClassDef]:
+        for node in mod.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return node
+        return None
+
+    @staticmethod
+    def class_slots(cls_node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
+        """The class's ``__slots__`` tuple, if literal."""
+        for node in cls_node.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and \
+                            target.id == "__slots__":
+                        try:
+                            value = _literal(node.value)
+                        except (ValueError, TypeError, SyntaxError):
+                            return None
+                        if isinstance(value, (tuple, list)):
+                            return tuple(str(v) for v in value)
+        return None
+
+    @staticmethod
+    def init_assigned(cls_node: ast.ClassDef) -> Set[str]:
+        """Attribute names ``__init__`` assigns on ``self`` (including
+        annotated and augmented assignments)."""
+        out: Set[str] = set()
+        for node in cls_node.body:
+            if not (isinstance(node, ast.FunctionDef)
+                    and node.name == "__init__"):
+                continue
+            for sub in ast.walk(node):
+                target: Optional[ast.expr] = None
+                if isinstance(sub, ast.Assign):
+                    for tgt in sub.targets:
+                        if isinstance(tgt, ast.Attribute) and \
+                                isinstance(tgt.value, ast.Name) and \
+                                tgt.value.id == "self":
+                            out.add(tgt.attr)
+                    continue
+                if isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                    target = sub.target
+                if isinstance(target, ast.Attribute) and \
+                        isinstance(target.value, ast.Name) and \
+                        target.value.id == "self":
+                    out.add(target.attr)
+        return out
+
+    @staticmethod
+    def class_properties(cls_node: ast.ClassDef) -> Set[str]:
+        """Names of ``@property`` methods on the class."""
+        out: Set[str] = set()
+        for node in cls_node.body:
+            if isinstance(node, ast.FunctionDef) and any(
+                    isinstance(d, ast.Name) and d.id == "property"
+                    for d in node.decorator_list):
+                out.add(node.name)
+        return out
+
+    # -- async index ---------------------------------------------------
+
+    def async_functions(self) -> Dict[str, Set[str]]:
+        """Per-module-tail sets of ``async def`` names (methods use the
+        bare name; the ASY402 pass resolves ``self.<name>`` within the
+        defining class only)."""
+        if self._async_index is None:
+            index: Dict[str, Set[str]] = {}
+            for mod in self.modules:
+                names = {n.name for n in ast.walk(mod.tree)
+                         if isinstance(n, ast.AsyncFunctionDef)}
+                if names:
+                    index[mod.tail] = names
+            self._async_index = index
+        return self._async_index
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method with its enclosing context (used by the
+    dataflow layer; collected via :func:`iter_functions`)."""
+
+    node: ast.AST               #: FunctionDef | AsyncFunctionDef
+    name: str
+    cls: Optional[ast.ClassDef]  #: enclosing class, if a method
+    is_async: bool = False
+    #: qualified display name, e.g. ``Pipeline._fetch``
+    qualname: str = ""
+    #: async methods of the enclosing class (for self-call resolution)
+    cls_async_methods: Set[str] = field(default_factory=set)
+
+
+def iter_functions(mod: ModuleInfo) -> List[FunctionInfo]:
+    """Every function and method in *mod*, each with its enclosing
+    class.  Nested functions are reported separately (their bodies are
+    not re-walked as part of the parent)."""
+    out: List[FunctionInfo] = []
+
+    def visit(body: List[ast.stmt], cls: Optional[ast.ClassDef]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{cls.name}.{node.name}" if cls else node.name
+                cls_async = set()
+                if cls is not None:
+                    cls_async = {n.name for n in cls.body
+                                 if isinstance(n, ast.AsyncFunctionDef)}
+                out.append(FunctionInfo(
+                    node, node.name, cls,
+                    isinstance(node, ast.AsyncFunctionDef), qual,
+                    cls_async))
+                visit(node.body, cls)
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, node)
+            elif isinstance(node, (ast.If, ast.Try)):
+                # module-level conditional defs (TYPE_CHECKING guards)
+                for sub_body in (getattr(node, "body", []),
+                                 getattr(node, "orelse", []),
+                                 getattr(node, "finalbody", [])):
+                    visit(sub_body, cls)
+    visit(mod.tree.body, None)
+    return out

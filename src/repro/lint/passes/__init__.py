@@ -1,0 +1,71 @@
+"""Contract-analysis passes over the shared :class:`ProjectModel`.
+
+Four rule families, one module each:
+
+* :mod:`repro.lint.passes.slots` — SLOT2xx, the ``DynInstr``
+  write-before-read slot contract;
+* :mod:`repro.lint.passes.lanes_drift` — LANE3xx, object/lane engine
+  drift;
+* :mod:`repro.lint.passes.asyncsafe` — ASY4xx, async-safety of the
+  service layer;
+* :mod:`repro.lint.passes.digest` — DIG5xx, mode-flag purity of result
+  digests.
+
+Unlike :class:`repro.lint.rules.Rule` (one file, one AST), a
+:class:`ProjectPass` sees the whole analyzed file set at once and may
+consult contract modules outside it.  Findings reuse the lint
+:class:`~repro.lint.rules.Violation` record, so suppression
+(``# repro-lint: waive=CODE``), sorting, and report formats are shared
+with ``repro lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.model import ProjectModel
+from repro.lint.rules import Violation
+
+
+class ProjectPass:
+    """Base class for whole-project rules; subclasses set the class
+    attributes and implement :meth:`run`."""
+
+    code: str = ""
+    title: str = ""
+    hint: str = ""
+    #: long-form rationale shown by ``repro check --explain CODE``.
+    explain: str = ""
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, path: str, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(path, getattr(node, "lineno", 1),
+                         getattr(node, "col_offset", 0) + 1,
+                         self.code, message, self.hint)
+
+
+def walk_shallow(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk *root* without descending into nested function/class
+    definitions — each of those is analyzed as its own unit."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def all_passes() -> List[ProjectPass]:
+    """Every contract pass, in code order."""
+    from repro.lint.passes.asyncsafe import ASY_PASSES
+    from repro.lint.passes.digest import DIG_PASSES
+    from repro.lint.passes.lanes_drift import LANE_PASSES
+    from repro.lint.passes.slots import SLOT_PASSES
+    return [*SLOT_PASSES, *LANE_PASSES, *ASY_PASSES, *DIG_PASSES]

@@ -1,0 +1,184 @@
+"""ASY4xx: async-safety of the service layer.
+
+The simulation service (``src/repro/service/``) runs one asyncio event
+loop next to a thread-pool scheduler, which creates exactly three ways
+to hang or drop work that no test reliably catches:
+
+* **ASY401** — a *blocking* call inside ``async def`` (``time.sleep``,
+  ``subprocess.run``, bare ``open`` ...) stalls the entire event loop,
+  freezing every connected client, not just the offending request;
+* **ASY402** — calling an ``async def`` without ``await`` creates a
+  coroutine object and throws it away: the body never runs, and the
+  only symptom is a ``RuntimeWarning`` nobody sees under pytest;
+* **ASY403** — an ``await`` on a socket-backed read/drain without
+  ``asyncio.wait_for`` waits forever on a stalled peer; every network
+  edge needs a timeout.
+
+ASY401/402 run everywhere (an unawaited coroutine is a bug in tests
+too); ASY403 is scoped to the ``service`` package, where the
+reader/writer calls are genuinely network-backed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.model import ProjectModel, iter_functions
+from repro.lint.passes import ProjectPass, walk_shallow
+from repro.lint.rules import Violation
+
+#: dotted call names that block the calling thread.
+BLOCKING_CALLS: Set[str] = {
+    "time.sleep", "os.system",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection", "urllib.request.urlopen",
+    "requests.get", "requests.post",
+}
+#: bare-name calls that block (builtins).
+BLOCKING_NAMES: Set[str] = {"open"}
+#: method names that block regardless of receiver (pathlib I/O).
+BLOCKING_METHODS: Set[str] = {"read_text", "write_text",
+                              "read_bytes", "write_bytes"}
+
+#: awaited stream methods that wait on a network peer.
+NETWORK_AWAITS: Set[str] = {"readline", "readexactly", "readuntil",
+                            "read", "drain"}
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` for Name/Attribute chains, '' otherwise."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class BlockingInAsyncPass(ProjectPass):
+    """ASY401 (see the module docstring)."""
+
+    code = "ASY401"
+    title = "blocking call inside async def"
+    hint = ("use the async equivalent (asyncio.sleep, loop."
+            "run_in_executor, asyncio streams) or move the call off "
+            "the event loop")
+    explain = (
+        "The event loop is single-threaded: any call that blocks the "
+        "thread (time.sleep, subprocess.run, synchronous file or "
+        "socket I/O) blocks *every* coroutine — all connected clients "
+        "stall for the duration.  The pass checks a curated list of "
+        "known-blocking calls rather than guessing, so it has no "
+        "false positives to waive; wrap unavoidable blocking work in "
+        "loop.run_in_executor.")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        for mod in model.modules:
+            for func in iter_functions(mod):
+                if not func.is_async:
+                    continue
+                for node in walk_shallow(func.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    dotted = _dotted(node.func)
+                    blocking = (
+                        dotted in BLOCKING_CALLS
+                        or dotted in BLOCKING_NAMES
+                        or (isinstance(node.func, ast.Attribute)
+                            and node.func.attr in BLOCKING_METHODS))
+                    if blocking:
+                        yield self.violation(
+                            mod.path, node,
+                            f"{func.qualname} is async but calls "
+                            f"blocking {dotted or node.func.attr}() — "
+                            f"this stalls the whole event loop")
+
+
+class UnawaitedCoroutinePass(ProjectPass):
+    """ASY402 (see the module docstring)."""
+
+    code = "ASY402"
+    title = "async function called without await"
+    hint = ("await the call, or wrap it in asyncio.create_task(...) "
+            "if it should run concurrently")
+    explain = (
+        "Calling an async def returns a coroutine object; discarding "
+        "it at statement level means the body never executes.  Python "
+        "only emits a RuntimeWarning at garbage collection, which "
+        "test output swallows.  The pass resolves bare-name calls "
+        "against the module's own top-level async defs and self.<m> "
+        "against the enclosing class's async methods — the two forms "
+        "it can resolve without type inference, and the two that "
+        "account for real instances of this bug.")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        for mod in model.modules:
+            module_async = {n.name for n in mod.tree.body
+                            if isinstance(n, ast.AsyncFunctionDef)}
+            for func in iter_functions(mod):
+                for node in walk_shallow(func.node):
+                    if not (isinstance(node, ast.Expr)
+                            and isinstance(node.value, ast.Call)):
+                        continue
+                    callee = node.value.func
+                    name = None
+                    if isinstance(callee, ast.Name) \
+                            and callee.id in module_async:
+                        name = callee.id
+                    elif isinstance(callee, ast.Attribute) \
+                            and isinstance(callee.value, ast.Name) \
+                            and callee.value.id == "self" \
+                            and callee.attr in func.cls_async_methods:
+                        name = f"self.{callee.attr}"
+                    if name is not None:
+                        yield self.violation(
+                            mod.path, node,
+                            f"{func.qualname} calls async {name}() "
+                            f"without await — the coroutine is created "
+                            f"and discarded, its body never runs")
+
+
+class AwaitWithoutTimeoutPass(ProjectPass):
+    """ASY403 (see the module docstring)."""
+
+    code = "ASY403"
+    title = "network await without a timeout"
+    hint = "wrap the call: await asyncio.wait_for(<call>, timeout)"
+    explain = (
+        "In the service package, stream reader/writer awaits "
+        "(readline, readexactly, read, drain) wait on a remote peer.  "
+        "A client that connects and stops sending — or stops reading "
+        "while the server drains a large response — parks the handler "
+        "coroutine forever and leaks its connection.  Wrapping the "
+        "await in asyncio.wait_for bounds every network edge; the "
+        "pass flags direct awaits of these methods (a wait_for-wrapped "
+        "call awaits wait_for, not the stream method, so it passes).")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        for mod in model.modules:
+            if mod.package != "service":
+                continue
+            for func in iter_functions(mod):
+                for node in walk_shallow(func.node):
+                    if not isinstance(node, ast.Await):
+                        continue
+                    call = node.value
+                    if isinstance(call, ast.Call) \
+                            and isinstance(call.func, ast.Attribute) \
+                            and call.func.attr in NETWORK_AWAITS:
+                        yield self.violation(
+                            mod.path, node,
+                            f"{func.qualname} awaits "
+                            f"{call.func.attr}() with no timeout — a "
+                            f"stalled peer parks this coroutine forever")
+
+
+ASY_PASSES: List[ProjectPass] = [
+    BlockingInAsyncPass(),
+    UnawaitedCoroutinePass(),
+    AwaitWithoutTimeoutPass(),
+]

@@ -1,0 +1,188 @@
+"""DIG5xx: mode-flag purity of result digests.
+
+The result store keys cached simulation results by
+``harness.cache.point_digest`` — a hash over everything that can change
+the *numbers*.  Mode flags (``REPRO_LANES``, ``REPRO_FASTFORWARD``,
+``REPRO_SANITIZE``, ``REPRO_JOBS``, ``CoreConfig.sanitize`` ...) select
+*how* a result is computed, not *what* it is: the engines are proven
+bit-identical across them.  If a mode flag leaks into a digest, equal
+results stop sharing cache entries — and worse, flipping a debug flag
+silently invalidates every cached baseline.  Two passes keep the taint
+out:
+
+* **DIG501** — inside digest/salt functions in ``harness``/``service``,
+  no mode-flag attribute reads, no mode-query helper calls, no
+  ``REPRO_*`` environment reads, and no bare ``asdict`` (which would
+  re-import every config field wholesale; ``digest_config_dict`` is
+  the one sanctioned call site that strips the mode fields);
+* **DIG502** — everywhere in the ``repro`` package, ``REPRO_*``
+  environment variables are read through :mod:`repro.envvars` only, so
+  the registry stays the single source of truth for names, defaults,
+  and digest-safety.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.model import ProjectModel, iter_functions
+from repro.lint.passes import ProjectPass, walk_shallow
+from repro.lint.rules import Violation
+
+#: packages whose digest/salt functions DIG501 audits.
+DIGEST_PACKAGES = frozenset({"harness", "service"})
+
+#: config attributes that select a mode, never a result.
+MODE_ATTRS: Set[str] = {"sanitize", "lanes", "fastforward"}
+
+#: helpers that answer "which mode are we in?".
+MODE_QUERIES: Set[str] = {"sanitize_enabled", "lanes_enabled",
+                          "fastforward_enabled", "resolve_jobs"}
+
+#: the one function allowed to call asdict() in digest scope — it
+#: exists precisely to strip MODE_FLAG_FIELDS before hashing.
+SANCTIONED_ASDICT = "digest_config_dict"
+
+
+def _is_digest_function(name: str) -> bool:
+    lowered = name.lower()
+    return "digest" in lowered or "salt" in lowered
+
+
+def _env_key(node: ast.Call) -> Optional[str]:
+    """The literal env-var name a call reads, if recognizable."""
+    func = node.func
+    dotted = ""
+    if isinstance(func, ast.Attribute):
+        parts = [func.attr]
+        base = func.value
+        while isinstance(base, ast.Attribute):
+            parts.append(base.attr)
+            base = base.value
+        if isinstance(base, ast.Name):
+            parts.append(base.id)
+            dotted = ".".join(reversed(parts))
+    if dotted not in ("os.environ.get", "os.getenv",
+                      "environ.get", "envvars.raw", "envvars.enabled"):
+        return None
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and isinstance(node.args[0].value, str):
+        return node.args[0].value
+    return None
+
+
+class DigestPurityPass(ProjectPass):
+    """DIG501 (see the module docstring)."""
+
+    code = "DIG501"
+    title = "mode flag flows into a result digest"
+    hint = ("digests hash what the result *is*, never how it was "
+            "computed — strip the mode flag (see digest_config_dict) "
+            "or key on a result-bearing field instead")
+    explain = (
+        "Mode flags (sanitize, lanes, fastforward, job counts) select "
+        "an implementation, and the implementations are proven "
+        "bit-identical — so a digest that includes one splits the "
+        "cache for equal results and ties stored baselines to debug "
+        "settings.  Inside any digest/salt function in harness/ or "
+        "service/, this pass flags: reads of mode attributes, calls "
+        "to mode-query helpers, REPRO_* environment reads, and bare "
+        "asdict() (which inhales every config field; "
+        "digest_config_dict is the sanctioned call site that pops "
+        "MODE_FLAG_FIELDS first).")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        for mod in model.modules:
+            if mod.package not in DIGEST_PACKAGES:
+                continue
+            for func in iter_functions(mod):
+                if not _is_digest_function(func.name):
+                    continue
+                yield from self._check_function(mod.path, func)
+
+    def _check_function(self, path: str, func) -> Iterator[Violation]:
+        for node in walk_shallow(func.node):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.ctx, ast.Load) \
+                    and node.attr in MODE_ATTRS:
+                yield self.violation(
+                    path, node,
+                    f"{func.qualname} reads mode flag .{node.attr} in "
+                    f"digest scope")
+            elif isinstance(node, ast.Call):
+                name = node.func.attr \
+                    if isinstance(node.func, ast.Attribute) \
+                    else node.func.id \
+                    if isinstance(node.func, ast.Name) else ""
+                if name in MODE_QUERIES:
+                    yield self.violation(
+                        path, node,
+                        f"{func.qualname} calls mode query {name}() in "
+                        f"digest scope")
+                elif name == "asdict" \
+                        and func.name != SANCTIONED_ASDICT:
+                    yield self.violation(
+                        path, node,
+                        f"{func.qualname} calls bare asdict() in digest "
+                        f"scope — use digest_config_dict, which strips "
+                        f"the mode fields")
+                else:
+                    key = _env_key(node)
+                    if key is not None and key.startswith("REPRO_"):
+                        yield self.violation(
+                            path, node,
+                            f"{func.qualname} reads environment "
+                            f"variable {key} in digest scope")
+
+
+class EnvRegistryPass(ProjectPass):
+    """DIG502 (see the module docstring)."""
+
+    code = "DIG502"
+    title = "REPRO_* environment read bypasses repro.envvars"
+    hint = ("read the flag via repro.envvars.raw/enabled; declare new "
+            "variables in envvars.REGISTRY")
+    explain = (
+        "repro.envvars.REGISTRY is the single catalogue of every "
+        "REPRO_* variable: name, default, semantics, and whether it "
+        "may influence digests.  A direct os.environ/os.getenv read "
+        "inside the package creates an undocumented variable with "
+        "private default-handling — the exact drift the registry "
+        "exists to prevent (REPRO_SERVICE_CRASH_ONCE went undocumented "
+        "for two releases this way).  Writes and pops stay exempt: "
+        "tests and the CLI legitimately mutate the environment.")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        for mod in model.modules:
+            if mod.package is None or mod.tail.endswith("envvars.py"):
+                continue
+            scopes = [("module level", mod.tree)]
+            scopes += [(f.qualname, f.node) for f in iter_functions(mod)]
+            for where, root in scopes:
+                for node in walk_shallow(root):
+                    key = None
+                    if isinstance(node, ast.Call):
+                        key = _env_key(node)
+                        dotted = ast.unparse(node.func) \
+                            if key is not None else ""
+                        if dotted.startswith("envvars."):
+                            key = None  # the sanctioned path
+                    elif isinstance(node, ast.Subscript) \
+                            and isinstance(node.ctx, ast.Load) \
+                            and ast.unparse(node.value) == "os.environ" \
+                            and isinstance(node.slice, ast.Constant) \
+                            and isinstance(node.slice.value, str):
+                        key = node.slice.value
+                    if key is not None and key.startswith("REPRO_"):
+                        yield self.violation(
+                            mod.path, node,
+                            f"{where} reads {key} directly from "
+                            f"the environment — go through repro."
+                            f"envvars so the registry stays complete")
+
+
+DIG_PASSES: List[ProjectPass] = [
+    DigestPurityPass(),
+    EnvRegistryPass(),
+]

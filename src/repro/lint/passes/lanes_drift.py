@@ -1,0 +1,365 @@
+"""LANE3xx: object-pipeline / lane-engine drift.
+
+The flat-lane engine (``core/lanes.py``) re-implements the hot cycle
+loop over structure-of-arrays state and must stay *bit-identical* to
+the object pipeline.  The single most likely way to break that quietly
+is drift: someone adds a hot ``DynInstr`` field read to ``pipeline.py``
+and forgets the lane engine, or edits a dispatch table in one engine
+only.  :data:`repro.core.lanes.LANE_REGISTRY` is the bridge contract,
+and these passes police it from three sides:
+
+* **LANE301** — every hot-path ``DynInstr`` field read in
+  ``core/pipeline.py`` / ``core/steering.py`` must appear in the
+  registry (as a mirrored lane or an explicit write-through ``()``
+  entry); audited exceptions carry ``# repro-lint: waive=LANE301``;
+* **LANE302** — every lane the registry (plus
+  :data:`~repro.core.lanes.INTERNAL_LANES`) names must actually exist
+  in ``LaneEngine.__init__`` and its ``_lanes`` growth tuple, no
+  unregistered lanes may exist, and registry keys must be real
+  ``DynInstr`` slots or properties;
+* **LANE303** — the lane engine's integer dispatch tables
+  (``_FU_GROUP_OF``/``_FU_GROUP_NAMES``, ``_LAT_BY_OP``, the
+  ``_LOAD``-style opcode constants) must agree member-for-member with
+  ``isa/opcodes.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.dataflow import function_accesses
+from repro.lint.model import ModuleInfo, ProjectModel, iter_functions
+from repro.lint.passes import ProjectPass, walk_shallow
+from repro.lint.rules import Violation
+
+LANES_TAIL = "core/lanes.py"
+OPCODES_TAIL = "isa/opcodes.py"
+DYNAMIC_TAIL = "core/dynamic.py"
+
+#: the object-engine modules whose DynInstr reads LANE301 audits.
+HOT_TAILS = ("core/pipeline.py", "core/steering.py")
+
+
+def _registry(model: ProjectModel) -> Tuple[Optional[ModuleInfo],
+                                            Optional[Dict[str, Tuple[str, ...]]],
+                                            Tuple[str, ...]]:
+    """(lanes module, LANE_REGISTRY, INTERNAL_LANES) — registry None when
+    unreadable."""
+    mod = model.contract_module(LANES_TAIL)
+    if mod is None:
+        return None, None, ()
+    registry = model.module_literal(mod, "LANE_REGISTRY")
+    internal = model.module_literal(mod, "INTERNAL_LANES")
+    if not isinstance(registry, dict):
+        return mod, None, ()
+    return (mod,
+            {str(k): tuple(str(l) for l in v)
+             for k, v in registry.items()},
+            tuple(str(l) for l in (internal or ())))
+
+
+class HotFieldCoveragePass(ProjectPass):
+    """LANE301 (see the module docstring)."""
+
+    code = "LANE301"
+    title = "hot DynInstr field read with no lane-registry entry"
+    hint = ("add the field to repro.core.lanes.LANE_REGISTRY (mirrored "
+            "lane or write-through ()), or waive an audited cold-path "
+            "read with '# repro-lint: waive=LANE301'")
+    explain = (
+        "core/pipeline.py and core/steering.py are the object engines "
+        "the flat-lane loop must mirror bit-for-bit.  A DynInstr field "
+        "they read but the registry does not name is exactly the drift "
+        "that desynchronizes the two implementations: the lane engine "
+        "has no obligation (mirror or write-through) recorded for it.  "
+        "Registering with () costs nothing at runtime — it only "
+        "declares 'lane mode writes this through to the object'.")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        _, registry, _ = _registry(model)
+        if registry is None:
+            return
+        for mod in model.modules:
+            if mod.tail not in HOT_TAILS:
+                continue
+            for func in iter_functions(mod):
+                for acc in function_accesses(func.node):
+                    if acc.is_write or not acc.recv_is_dyn or acc.guarded:
+                        continue
+                    if acc.attr not in registry:
+                        yield self.violation(
+                            mod.path, acc.node,
+                            f"{func.qualname} reads DynInstr field "
+                            f"{acc.attr!r}, which has no LANE_REGISTRY "
+                            f"entry")
+
+
+class LaneExistencePass(ProjectPass):
+    """LANE302 (see the module docstring)."""
+
+    code = "LANE302"
+    title = "lane registry and LaneEngine storage disagree"
+    hint = ("initialize every registered lane as 'self.<lane> = [0] * "
+            "_CHUNK' in LaneEngine.__init__, include it in _lanes, and "
+            "register every lane you add")
+    explain = (
+        "LANE_REGISTRY names the flat lists each mirrored field lives "
+        "in; LaneEngine.__init__ allocates them and the _lanes tuple "
+        "grows them.  A registered lane the engine never allocates is "
+        "a lie in the contract; an allocated lane outside the registry "
+        "(and INTERNAL_LANES) is untracked state; a lane missing from "
+        "_lanes silently stops growing past the first chunk and "
+        "corrupts every slot above 4096.  Registry keys must also be "
+        "real DynInstr slots or properties, or SLOT/LANE coverage is "
+        "checking phantom fields.")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        mod, registry, internal = _registry(model)
+        if mod is None or registry is None:
+            if mod is not None:
+                yield self.violation(
+                    mod.path, mod.tree,
+                    "could not statically read LANE_REGISTRY (must stay "
+                    "a literal dict)")
+            return
+        cls = model.class_def(mod, "LaneEngine")
+        if cls is None:
+            yield self.violation(mod.path, mod.tree,
+                                 "LaneEngine class not found")
+            return
+        allocated = self._chunk_lanes(cls)
+        tuple_members = self._lanes_tuple(cls)
+        expected: Set[str] = set(internal)
+        for lanes in registry.values():
+            expected.update(lanes)
+        anchor: ast.AST = cls
+        for lane in sorted(expected - set(allocated)):
+            yield self.violation(
+                mod.path, anchor,
+                f"registered lane {lane!r} is never allocated as "
+                f"'self.{lane} = [0] * _CHUNK' in LaneEngine.__init__")
+        for lane in sorted(set(allocated) - expected):
+            yield self.violation(
+                mod.path, allocated[lane],
+                f"LaneEngine lane {lane!r} is not named by any "
+                f"LANE_REGISTRY entry or INTERNAL_LANES")
+        if tuple_members is not None:
+            for lane in sorted(set(allocated) - set(tuple_members)):
+                yield self.violation(
+                    mod.path, allocated[lane],
+                    f"lane {lane!r} is missing from the _lanes growth "
+                    f"tuple (it would stop at the first chunk)")
+        dyn_mod = model.contract_module(DYNAMIC_TAIL)
+        dyn_cls = dyn_mod and model.class_def(dyn_mod, "DynInstr")
+        if dyn_cls is not None:
+            slots = set(model.class_slots(dyn_cls) or ())
+            fields = slots | model.class_properties(dyn_cls)
+            for key in sorted(set(registry) - fields):
+                yield self.violation(
+                    mod.path, anchor,
+                    f"LANE_REGISTRY key {key!r} is not a DynInstr slot "
+                    f"or property")
+
+    @staticmethod
+    def _chunk_lanes(cls: ast.ClassDef) -> Dict[str, ast.AST]:
+        """``self.X = [0] * _CHUNK`` assignments in ``__init__``."""
+        out: Dict[str, ast.AST] = {}
+        for node in cls.body:
+            if not (isinstance(node, ast.FunctionDef)
+                    and node.name == "__init__"):
+                continue
+            for sub in walk_shallow(node):
+                if not (isinstance(sub, ast.Assign)
+                        and isinstance(sub.value, ast.BinOp)
+                        and isinstance(sub.value.op, ast.Mult)):
+                    continue
+                operands = (sub.value.left, sub.value.right)
+                if not any(isinstance(o, ast.Name) and o.id == "_CHUNK"
+                           for o in operands):
+                    continue
+                if not any(isinstance(o, ast.List) for o in operands):
+                    continue
+                for tgt in sub.targets:
+                    if isinstance(tgt, ast.Attribute) and \
+                            isinstance(tgt.value, ast.Name) and \
+                            tgt.value.id == "self":
+                        out[tgt.attr] = sub
+        return out
+
+    @staticmethod
+    def _lanes_tuple(cls: ast.ClassDef) -> Optional[Set[str]]:
+        """Members of the ``self._lanes = (self.a, self.b, ...)`` tuple."""
+        for node in cls.body:
+            if not (isinstance(node, ast.FunctionDef)
+                    and node.name == "__init__"):
+                continue
+            for sub in walk_shallow(node):
+                if isinstance(sub, ast.Assign) and any(
+                        isinstance(t, ast.Attribute) and t.attr == "_lanes"
+                        for t in sub.targets):
+                    if not isinstance(sub.value, ast.Tuple):
+                        return None
+                    return {e.attr for e in sub.value.elts
+                            if isinstance(e, ast.Attribute)}
+        return None
+
+
+class DispatchTableAgreementPass(ProjectPass):
+    """LANE303 (see the module docstring)."""
+
+    code = "LANE303"
+    title = "lane-engine dispatch table disagrees with isa/opcodes.py"
+    hint = ("regenerate _FU_GROUP_OF / _LAT_BY_OP / the opcode "
+            "constants in core/lanes.py from the opcodes module")
+    explain = (
+        "The lane engine flattens OpClass dispatch into integer tables "
+        "(_FU_GROUP_OF indexed by opcode kind, _LAT_BY_OP, and _LOAD-"
+        "style constants) for speed.  opcodes.py is the source of "
+        "truth; if someone adds an OpClass member or remaps an FU "
+        "group there, a stale table makes lane mode issue to the wrong "
+        "FU pool — a silent IPC skew, not a crash.  This pass replays "
+        "the flattening statically and diffs it member by member.")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        lanes_mod = model.contract_module(LANES_TAIL)
+        ops_mod = model.contract_module(OPCODES_TAIL)
+        if lanes_mod is None or ops_mod is None:
+            return
+        members = self._opclass_members(model, ops_mod)
+        fu_group = self._fu_group(model, ops_mod)
+        if not members or fu_group is None:
+            yield self.violation(
+                ops_mod.path, ops_mod.tree,
+                "could not statically read OpClass members / _FU_GROUP "
+                "(must stay literal)")
+            return
+        group_of = model.module_literal(lanes_mod, "_FU_GROUP_OF")
+        group_names = model.module_literal(lanes_mod, "_FU_GROUP_NAMES")
+        anchor = model.module_assignment(lanes_mod, "_FU_GROUP_OF") \
+            or lanes_mod.tree
+        if not isinstance(group_of, tuple) \
+                or not isinstance(group_names, tuple):
+            yield self.violation(
+                lanes_mod.path, anchor,
+                "_FU_GROUP_OF / _FU_GROUP_NAMES must be literal tuples")
+            return
+        if len(group_of) != len(members):
+            yield self.violation(
+                lanes_mod.path, anchor,
+                f"_FU_GROUP_OF has {len(group_of)} entries but OpClass "
+                f"has {len(members)} members")
+        for name, value in sorted(members.items(), key=lambda kv: kv[1]):
+            if not 0 <= value < len(group_of):
+                continue
+            idx = group_of[value]
+            got = group_names[idx] \
+                if isinstance(idx, int) and 0 <= idx < len(group_names) \
+                else None
+            want = fu_group.get(name)
+            if want is not None and got != want:
+                yield self.violation(
+                    lanes_mod.path, anchor,
+                    f"_FU_GROUP_OF maps OpClass.{name} to {got!r}, but "
+                    f"opcodes._FU_GROUP says {want!r}")
+        yield from self._check_latency_table(model, lanes_mod, members)
+        yield from self._check_constants(lanes_mod, members)
+
+    # -- opcodes.py side ----------------------------------------------
+
+    @staticmethod
+    def _opclass_members(model: ProjectModel,
+                         ops_mod: ModuleInfo) -> Dict[str, int]:
+        cls = model.class_def(ops_mod, "OpClass")
+        out: Dict[str, int] = {}
+        if cls is None:
+            return out
+        for node in cls.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Constant) \
+                    and isinstance(node.value.value, int):
+                out[node.targets[0].id] = node.value.value
+        return out
+
+    @staticmethod
+    def _fu_group(model: ProjectModel,
+                  ops_mod: ModuleInfo) -> Optional[Dict[str, str]]:
+        """``_FU_GROUP`` parsed as {member name: group name} (its keys
+        are ``OpClass.X`` attributes, so literal_eval cannot help)."""
+        value = model.module_assignment(ops_mod, "_FU_GROUP")
+        if not isinstance(value, ast.Dict):
+            return None
+        out: Dict[str, str] = {}
+        for key, val in zip(value.keys, value.values):
+            if isinstance(key, ast.Attribute) \
+                    and isinstance(key.value, ast.Name) \
+                    and key.value.id == "OpClass" \
+                    and isinstance(val, ast.Constant) \
+                    and isinstance(val.value, str):
+                out[key.attr] = val.value
+        return out
+
+    # -- lanes.py side ------------------------------------------------
+
+    def _check_latency_table(self, model: ProjectModel,
+                             lanes_mod: ModuleInfo,
+                             members: Dict[str, int]) -> Iterator[Violation]:
+        expr = model.module_assignment(lanes_mod, "_LAT_BY_OP")
+        if expr is None:
+            yield self.violation(lanes_mod.path, lanes_mod.tree,
+                                 "_LAT_BY_OP table not found")
+            return
+        text = ast.unparse(expr)
+        if "DEFAULT_LATENCIES" not in text:
+            yield self.violation(
+                lanes_mod.path, expr,
+                "_LAT_BY_OP must be derived from DEFAULT_LATENCIES, "
+                "not hand-copied")
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id == "range" and len(node.args) == 1 \
+                    and isinstance(node.args[0], ast.Constant):
+                if node.args[0].value != len(members):
+                    yield self.violation(
+                        lanes_mod.path, expr,
+                        f"_LAT_BY_OP covers range({node.args[0].value}) "
+                        f"but OpClass has {len(members)} members")
+
+    def _check_constants(self, lanes_mod: ModuleInfo,
+                         members: Dict[str, int]) -> Iterator[Violation]:
+        """``_X = int(OpClass.Y)`` constants must satisfy X == Y."""
+        for node in lanes_mod.tree.body:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            target = node.targets[0].id
+            value = node.value
+            if not (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "int" and len(value.args) == 1):
+                continue
+            arg = value.args[0]
+            if not (isinstance(arg, ast.Attribute)
+                    and isinstance(arg.value, ast.Name)
+                    and arg.value.id == "OpClass"):
+                continue
+            if arg.attr not in members:
+                yield self.violation(
+                    lanes_mod.path, node,
+                    f"{target} references OpClass.{arg.attr}, which is "
+                    f"not an OpClass member")
+            elif target != f"_{arg.attr}":
+                yield self.violation(
+                    lanes_mod.path, node,
+                    f"opcode constant {target} shadows OpClass."
+                    f"{arg.attr} under a mismatched name (expected "
+                    f"_{arg.attr})")
+
+
+LANE_PASSES: List[ProjectPass] = [
+    HotFieldCoveragePass(),
+    LaneExistencePass(),
+    DispatchTableAgreementPass(),
+]

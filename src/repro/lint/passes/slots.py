@@ -1,0 +1,272 @@
+"""SLOT2xx: the ``DynInstr`` write-before-read slot contract.
+
+``DynInstr.__init__`` deliberately leaves most slots unset (every
+avoidable store costs real time on the hottest shared path), and the
+contract that makes that safe — *the owning stage writes the slot
+before any later stage reads it* — is declared machine-readably in
+:data:`repro.core.dynamic.SLOT_OWNERS`.  These passes keep declaration
+and code in sync:
+
+* **SLOT201** — registry drift: the declared lazy set must equal
+  ``__slots__`` minus the fields ``__init__`` assigns, owners must be
+  real stages, and :data:`CONDITIONAL_SLOTS` must be a subset;
+* **SLOT202** — premature read: a core engine function attributed to
+  stage *s* (by name: ``_fetch…``, ``_dispatch…``, ``…_ready``, ...)
+  must not bare-read a slot owned by a stage after *s*, unless the
+  read is dominated by a write in the same function or goes through
+  ``slot_or_none``/``getattr``;
+* **SLOT203** — diagnostic bare read: the sanitizer and the analysis
+  tools may observe instructions whose owning stage never ran, so
+  every lazy-slot read there must be a
+  :func:`~repro.core.dynamic.slot_or_none` probe;
+* **SLOT204** — orphan slot: every declared lazy slot must be written
+  somewhere in the core engines (a never-written slot is dead weight —
+  this pass found and removed ``classified_in_sequence``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.dataflow import function_accesses
+from repro.lint.model import ModuleInfo, ProjectModel, iter_functions
+from repro.lint.passes import ProjectPass
+from repro.lint.rules import Violation
+
+#: the contract module these passes check against.
+CONTRACT_TAIL = "core/dynamic.py"
+
+#: modules that may only probe lazy slots through slot_or_none.
+DIAGNOSTIC_TAILS = ("core/sanitizer.py",)
+DIAGNOSTIC_PACKAGES = frozenset({"analysis"})
+
+#: function-name fragment -> pipeline stage, first match wins.
+STAGE_PATTERNS: Tuple[Tuple[str, str], ...] = (
+    ("fetch", "fetch"),
+    ("dispatch", "dispatch"), ("steer", "dispatch"), ("rename", "dispatch"),
+    ("issue", "issue"), ("ready", "issue"), ("eligible", "issue"),
+    ("wake", "issue"), ("select", "issue"),
+    ("writeback", "writeback"), ("complete", "writeback"),
+    ("retire", "retire"), ("commit", "retire"),
+)
+
+
+def stage_of_function(name: str) -> Optional[str]:
+    """Pipeline stage a function acts as, inferred from its name
+    (None = cross-stage/utility code, exempt from SLOT202)."""
+    lowered = name.lower()
+    for fragment, stage in STAGE_PATTERNS:
+        if fragment in lowered:
+            return stage
+    return None
+
+
+def load_contract(model: ProjectModel) -> Optional[Dict[str, object]]:
+    """The slot contract from ``core/dynamic.py``: owners, stage order,
+    conditional set, ``__slots__``, init-assigned set, properties."""
+    mod = model.contract_module(CONTRACT_TAIL)
+    if mod is None:
+        return None
+    owners = model.module_literal(mod, "SLOT_OWNERS")
+    stages = model.module_literal(mod, "STAGE_ORDER")
+    conditional = model.module_literal(mod, "CONDITIONAL_SLOTS")
+    cls = model.class_def(mod, "DynInstr")
+    if not isinstance(owners, dict) or not isinstance(stages, tuple) \
+            or cls is None:
+        return None
+    slots = model.class_slots(cls)
+    return {
+        "module": mod,
+        "owners": {str(k): str(v) for k, v in owners.items()},
+        "stages": tuple(str(s) for s in stages),
+        "conditional": {str(s) for s in (conditional or ())},
+        "slots": slots or (),
+        "init_assigned": model.init_assigned(cls),
+        "properties": model.class_properties(cls),
+        "class_node": cls,
+    }
+
+
+class SlotRegistryDriftPass(ProjectPass):
+    """SLOT201 (see the module docstring)."""
+
+    code = "SLOT201"
+    title = "DynInstr slot contract drift"
+    hint = ("keep repro.core.dynamic.SLOT_OWNERS equal to __slots__ "
+            "minus the fields __init__ assigns")
+    explain = (
+        "SLOT_OWNERS is the machine-readable write-before-read "
+        "contract: every slot __init__ deliberately leaves unset, "
+        "mapped to the stage that writes it.  If a slot is added to "
+        "__slots__ without an owner (or an owner names an eager or "
+        "nonexistent slot, or an unknown stage), the other SLOT "
+        "passes silently lose coverage — so the drift itself is an "
+        "error.")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        contract = load_contract(model)
+        if contract is None:
+            mod = model.contract_module(CONTRACT_TAIL)
+            if mod is not None:
+                yield self.violation(
+                    mod.path, mod.tree,
+                    "could not statically read SLOT_OWNERS / STAGE_ORDER "
+                    "/ DynInstr.__slots__ (must stay literal)")
+            return
+        mod: ModuleInfo = contract["module"]  # type: ignore[assignment]
+        anchor = contract["class_node"]
+        owners: Dict[str, str] = contract["owners"]  # type: ignore
+        stages = contract["stages"]
+        lazy_expected = set(contract["slots"]) - contract["init_assigned"]
+        declared = set(owners)
+        for slot in sorted(lazy_expected - declared):
+            yield self.violation(
+                mod.path, anchor,
+                f"slot {slot!r} is left unset by __init__ but has no "
+                f"owner in SLOT_OWNERS")
+        for slot in sorted(declared - lazy_expected):
+            yield self.violation(
+                mod.path, anchor,
+                f"SLOT_OWNERS declares {slot!r}, which is not a lazy "
+                f"slot (not in __slots__, or assigned by __init__)")
+        for slot, stage in sorted(owners.items()):
+            if stage not in stages:
+                yield self.violation(
+                    mod.path, anchor,
+                    f"SLOT_OWNERS[{slot!r}] names unknown stage "
+                    f"{stage!r} (STAGE_ORDER: {', '.join(stages)})")
+        for slot in sorted(contract["conditional"] - declared):
+            yield self.violation(
+                mod.path, anchor,
+                f"CONDITIONAL_SLOTS contains {slot!r}, which is not a "
+                f"declared lazy slot")
+
+
+class PrematureReadPass(ProjectPass):
+    """SLOT202 (see the module docstring)."""
+
+    code = "SLOT202"
+    title = "DynInstr slot read before its owning stage"
+    hint = ("write the slot before the read, guard it with "
+            "slot_or_none(...), or rename the function if its stage "
+            "was misinferred")
+    explain = (
+        "A stage function reading a slot that a *later* stage owns "
+        "observes an unset attribute on every freshly fetched "
+        "instruction: AttributeError on the lucky paths, stale state "
+        "from a recycled record on the unlucky ones.  The pass infers "
+        "each core function's stage from its name, and exempts reads "
+        "dominated by a write in the same function and defaulted "
+        "probes (slot_or_none / getattr-with-default).")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        contract = load_contract(model)
+        if contract is None:
+            return
+        owners: Dict[str, str] = contract["owners"]  # type: ignore
+        stages = list(contract["stages"])
+        diagnostic = set(DIAGNOSTIC_TAILS)
+        for mod in model.modules:
+            if mod.package != "core" or mod.tail == CONTRACT_TAIL \
+                    or mod.tail in diagnostic:
+                continue
+            for func in iter_functions(mod):
+                stage = stage_of_function(func.name)
+                if stage is None:
+                    continue
+                rank = stages.index(stage)
+                for acc in function_accesses(func.node):
+                    if acc.is_write or not acc.recv_is_dyn or acc.guarded \
+                            or acc.dominated:
+                        continue
+                    owner = owners.get(acc.attr)
+                    if owner is None or owner not in stages:
+                        continue
+                    if stages.index(owner) > rank:
+                        yield self.violation(
+                            mod.path, acc.node,
+                            f"{func.qualname} ({stage} stage) reads "
+                            f"DynInstr slot {acc.attr!r}, which only the "
+                            f"later {owner} stage writes")
+
+
+class DiagnosticBareReadPass(ProjectPass):
+    """SLOT203 (see the module docstring)."""
+
+    code = "SLOT203"
+    title = "bare lazy-slot read in a diagnostic module"
+    hint = "probe lazy slots with slot_or_none(dyn, name[, default])"
+    explain = (
+        "Diagnostic code (the sanitizer, analysis tools) runs against "
+        "instructions at arbitrary lifecycle points, including ones "
+        "whose owning stage never ran (a shelf instruction has no "
+        "rob_idx, an unforwarded load no forwarded_from).  A bare "
+        "attribute read there raises AttributeError exactly on the "
+        "interesting runs; slot_or_none() both defaults the read and "
+        "asserts the field really is in the declared lazy set.")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        contract = load_contract(model)
+        if contract is None:
+            return
+        lazy = set(contract["owners"])
+        for mod in model.modules:
+            if not (mod.tail in DIAGNOSTIC_TAILS
+                    or mod.package in DIAGNOSTIC_PACKAGES):
+                continue
+            for func in iter_functions(mod):
+                for acc in function_accesses(func.node):
+                    if acc.is_write or not acc.recv_is_dyn or acc.guarded \
+                            or acc.dominated:
+                        continue
+                    if acc.attr in lazy:
+                        yield self.violation(
+                            mod.path, acc.node,
+                            f"{func.qualname} bare-reads lazy slot "
+                            f"{acc.attr!r} on an instruction whose "
+                            f"owning stage may never have run")
+
+
+class OrphanSlotPass(ProjectPass):
+    """SLOT204 (see the module docstring)."""
+
+    code = "SLOT204"
+    title = "declared lazy slot never written"
+    hint = ("remove the dead slot from __slots__ and SLOT_OWNERS, or "
+            "add the missing stage write")
+
+    explain = (
+        "A slot declared in the contract but written nowhere in the "
+        "core engines is either dead weight in every DynInstr or a "
+        "missing stage implementation; both deserve a finding.  The "
+        "pass only runs when the analyzed file set includes the core "
+        "pipeline, so `repro check tests` cannot misreport.")
+
+    def run(self, model: ProjectModel) -> Iterator[Violation]:
+        contract = load_contract(model)
+        if contract is None:
+            return
+        core_mods = [m for m in model.modules if m.package == "core"]
+        if not any(m.tail == "core/pipeline.py" for m in core_mods):
+            return
+        written: Set[str] = set()
+        for mod in core_mods:
+            for func in iter_functions(mod):
+                for acc in function_accesses(func.node):
+                    if acc.is_write and acc.recv_is_dyn:
+                        written.add(acc.attr)
+        mod = contract["module"]  # type: ignore[assignment]
+        anchor = contract["class_node"]
+        for slot in sorted(set(contract["owners"]) - written):
+            yield self.violation(
+                mod.path, anchor,
+                f"lazy slot {slot!r} is declared in SLOT_OWNERS but no "
+                f"core engine ever writes it")
+
+
+SLOT_PASSES: List[ProjectPass] = [
+    SlotRegistryDriftPass(),
+    PrematureReadPass(),
+    DiagnosticBareReadPass(),
+    OrphanSlotPass(),
+]

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import multiprocessing
 
+from repro import envvars
 from repro.harness.cache import get_store
 from repro.harness.executor import simulate_point, terminate_workers
 from repro.service.jobs import Job, JobQueue, JobSpec
@@ -47,7 +48,8 @@ from repro.service.metrics import ServiceMetrics
 
 #: test-only fault injection: a path; when the file exists, the next
 #: worker batch deletes it and kills its process with ``os._exit(3)``,
-#: exercising the BrokenProcessPool retry path end to end.
+#: exercising the BrokenProcessPool retry path end to end.  Declared in
+#: :mod:`repro.envvars` like every other ``REPRO_*`` knob.
 CRASH_ONCE_ENV = "REPRO_SERVICE_CRASH_ONCE"
 
 
@@ -75,7 +77,7 @@ def _alarm(seconds: Optional[float]):
 
 
 def _maybe_crash() -> None:
-    token = os.environ.get(CRASH_ONCE_ENV)
+    token = envvars.raw(CRASH_ONCE_ENV)
     if token and os.path.exists(token):
         try:
             os.unlink(token)

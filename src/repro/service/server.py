@@ -107,7 +107,9 @@ class ServiceServer:
             await asyncio.sleep(0.05)
         # drained (or out of patience): a hard scheduler stop is now
         # either a no-op or the documented drain-timeout failure path.
-        self.scheduler.stop(drain=False, timeout=5.0)
+        # stop() joins the scheduler thread — blocking, so off-loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.scheduler.stop(drain=False, timeout=5.0))
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -128,11 +130,11 @@ class ServiceServer:
                 f"Connection: close\r\n\r\n").encode()
         try:
             writer.write(head + body)
-            await writer.drain()
+            await asyncio.wait_for(writer.drain(), 10.0)
             writer.close()
             await writer.wait_closed()
-        except (ConnectionError, BrokenPipeError):
-            pass  # client went away mid-response; nothing to salvage
+        except (ConnectionError, BrokenPipeError, asyncio.TimeoutError):
+            pass  # client went away or stopped reading; nothing to salvage
 
     async def _respond(self, reader: asyncio.StreamReader
                        ) -> Tuple[int, dict]:
@@ -151,8 +153,8 @@ class ServiceServer:
                 content_length = int(value.strip())
         if content_length > MAX_BODY:
             return 413, {"error": "request body too large"}
-        body = await reader.readexactly(content_length) \
-            if content_length else b""
+        body = await asyncio.wait_for(reader.readexactly(content_length),
+                                      10.0) if content_length else b""
         return self._route(method, path, body)
 
     # -- routing -----------------------------------------------------------

@@ -1,0 +1,489 @@
+"""Contract analysis (`repro check`): seeded violations per rule
+family, waivers, baseline round-trip, and repo cleanliness."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.dynamic import (CONDITIONAL_SLOTS, LAZY_SLOTS, SLOT_OWNERS,
+                                STAGE_ORDER, DynInstr, slot_or_none)
+from repro.envvars import OFF_VALUES, REGISTRY, enabled, lookup, names, raw
+from repro.lint import check_main, check_sources, explain
+from repro.lint.check import apply_baseline, baseline_keys, write_baseline
+from repro.lint.model import ProjectModel
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+def real_source(tail):
+    return (SRC / "repro" / tail).read_text(encoding="utf-8")
+
+
+def check_one(path, source):
+    return check_sources({path: source})
+
+
+def findings_of(violations, code):
+    return [v for v in violations if v.code == code]
+
+
+# ---------------------------------------------------------------------------
+# SLOT2xx: the DynInstr slot contract
+# ---------------------------------------------------------------------------
+
+class TestSlotContract:
+    def test_runtime_contract_is_consistent(self):
+        # The registries the passes read must describe the real class.
+        for slot in SLOT_OWNERS:
+            assert slot in DynInstr.__slots__
+            assert SLOT_OWNERS[slot] in STAGE_ORDER
+        assert CONDITIONAL_SLOTS <= LAZY_SLOTS == frozenset(SLOT_OWNERS)
+
+    def test_slot201_unowned_lazy_slot(self):
+        # Grow __slots__ without declaring an owner.
+        src = real_source("core/dynamic.py").replace(
+            '"retry_after",', '"retry_after", "mystery_slot",')
+        vs = findings_of(check_one("src/repro/core/dynamic.py", src),
+                         "SLOT201")
+        assert any("mystery_slot" in v.message for v in vs)
+
+    def test_slot201_owner_for_eager_slot(self):
+        src = real_source("core/dynamic.py").replace(
+            '"rob_idx": "dispatch",', '"rob_idx": "dispatch", '
+            '"mispredicted": "dispatch",')
+        vs = findings_of(check_one("src/repro/core/dynamic.py", src),
+                         "SLOT201")
+        assert any("mispredicted" in v.message for v in vs)
+
+    def test_slot202_premature_read_in_fetch(self):
+        src = (
+            "from repro.core.dynamic import DynInstr\n"
+            "class Pipeline:\n"
+            "    def _fetch_one(self, dyn: DynInstr) -> int:\n"
+            "        return dyn.issue_cycle\n")
+        vs = check_one("src/repro/core/mystage.py", src)
+        assert codes(vs) == ["SLOT202"]
+        assert "issue" in vs[0].message
+
+    def test_slot202_same_stage_read_allowed(self):
+        src = (
+            "from repro.core.dynamic import DynInstr\n"
+            "class Pipeline:\n"
+            "    def _issue_one(self, dyn: DynInstr) -> int:\n"
+            "        return dyn.issue_cycle\n")
+        assert check_one("src/repro/core/mystage.py", src) == []
+
+    def test_slot202_dominating_write_exempts(self):
+        src = (
+            "from repro.core.dynamic import DynInstr\n"
+            "class Pipeline:\n"
+            "    def _fetch_one(self, dyn: DynInstr, cycle: int) -> int:\n"
+            "        dyn.issue_cycle = cycle\n"
+            "        return dyn.issue_cycle\n")
+        assert check_one("src/repro/core/mystage.py", src) == []
+
+    def test_slot203_bare_read_in_sanitizer(self):
+        src = (
+            "from repro.core.dynamic import DynInstr\n"
+            "def _check_probe(dyn: DynInstr) -> None:\n"
+            "    assert dyn.rob_idx >= 0\n")
+        vs = check_one("src/repro/core/sanitizer.py", src)
+        assert codes(vs) == ["SLOT203"]
+
+    def test_slot203_slot_or_none_is_clean(self):
+        src = (
+            "from repro.core.dynamic import DynInstr, slot_or_none\n"
+            "def _check_probe(dyn: DynInstr) -> None:\n"
+            "    assert slot_or_none(dyn, 'rob_idx', 0) >= 0\n")
+        assert check_one("src/repro/core/sanitizer.py", src) == []
+
+    def test_slot_or_none_defaults_and_asserts(self):
+        dyn = object.__new__(DynInstr)
+        assert slot_or_none(dyn, "rob_idx") is None
+        assert slot_or_none(dyn, "lq_slot", False) is False
+        dyn.rob_idx = 7
+        assert slot_or_none(dyn, "rob_idx") == 7
+        with pytest.raises(AssertionError):
+            slot_or_none(dyn, "not_a_slot")
+        with pytest.raises(AssertionError):
+            # eager field: reading it through the lazy probe is a bug
+            slot_or_none(dyn, "mispredicted")
+
+
+# ---------------------------------------------------------------------------
+# LANE3xx: object/lane engine drift
+# ---------------------------------------------------------------------------
+
+def hot_sources(**replacements):
+    """The real hot-path modules, with optional source edits applied
+    to core/lanes.py before analysis."""
+    sources = {
+        f"src/repro/{tail}": real_source(tail)
+        for tail in ("core/pipeline.py", "core/steering.py",
+                     "core/lanes.py", "core/dynamic.py",
+                     "core/lsq.py", "core/shelf.py", "isa/opcodes.py")}
+    lanes = sources["src/repro/core/lanes.py"]
+    for old, new in replacements.items():
+        assert old in lanes, f"edit anchor {old!r} not found"
+        lanes = lanes.replace(old, new)
+    sources["src/repro/core/lanes.py"] = lanes
+    return sources
+
+
+class TestLaneDrift:
+    def test_real_tree_is_clean(self):
+        assert check_sources(hot_sources()) == []
+
+    def test_lane301_removing_a_registry_entry_fires(self):
+        # The acceptance criterion: deleting any one lane entry from
+        # LANE_REGISTRY must fail the check.
+        vs = check_sources(hot_sources(
+            **{'    "wake_waits": ("waits",),\n': ''}))
+        lane301 = findings_of(vs, "LANE301")
+        assert lane301 and all("wake_waits" in v.message for v in lane301)
+        # ...and the now-orphaned lane storage is flagged too.
+        assert any("waits" in v.message
+                   for v in findings_of(vs, "LANE302"))
+
+    def test_lane301_removing_a_writethrough_entry_fires(self):
+        vs = check_sources(hot_sources(
+            **{'"mispredicted": (), ': ''}))
+        assert any("mispredicted" in v.message
+                   for v in findings_of(vs, "LANE301"))
+
+    def test_lane302_registering_a_phantom_lane(self):
+        vs = check_sources(hot_sources(
+            **{'"shelf_idx": ("shelfv",),': '"shelf_idx": ("shelfz",),'}))
+        lane302 = findings_of(vs, "LANE302")
+        # the registered lane has no storage, and the real storage
+        # lost its registration
+        assert any("shelfz" in v.message for v in lane302)
+        assert any("'shelfv'" in v.message for v in lane302)
+
+    def test_lane302_phantom_registry_key(self):
+        vs = check_sources(hot_sources(
+            **{'"seq": (),': '"seq": (), "not_a_field": (),'}))
+        assert any("not_a_field" in v.message
+                   for v in findings_of(vs, "LANE302"))
+
+    def test_lane303_fu_group_mismatch(self):
+        vs = check_sources(hot_sources(
+            **{"_FU_GROUP_OF = (0, 1, 1, 2, 2, 2, 3, 3, 0, 0)":
+               "_FU_GROUP_OF = (0, 1, 1, 2, 2, 2, 3, 3, 1, 0)"}))
+        assert any("BRANCH" in v.message
+                   for v in findings_of(vs, "LANE303"))
+
+    def test_lane303_table_length_mismatch(self):
+        vs = check_sources(hot_sources(
+            **{"_FU_GROUP_OF = (0, 1, 1, 2, 2, 2, 3, 3, 0, 0)":
+               "_FU_GROUP_OF = (0, 1, 1, 2, 2, 2, 3, 3, 0)"}))
+        assert any("entries" in v.message
+                   for v in findings_of(vs, "LANE303"))
+
+    def test_lane303_mismatched_opcode_constant(self):
+        vs = check_sources(hot_sources(
+            **{"_BRANCH = int(OpClass.BRANCH)":
+               "_BRANCH = int(OpClass.STORE)"}))
+        assert any("_BRANCH" in v.message
+                   for v in findings_of(vs, "LANE303"))
+
+
+# ---------------------------------------------------------------------------
+# ASY4xx: async safety
+# ---------------------------------------------------------------------------
+
+class TestAsyncSafety:
+    def test_asy401_blocking_sleep(self):
+        src = ("import time\n"
+               "async def handler():\n"
+               "    time.sleep(1.0)\n")
+        vs = check_one("src/repro/service/myhandler.py", src)
+        assert codes(vs) == ["ASY401"]
+
+    def test_asy401_sync_function_not_flagged(self):
+        src = ("import time\n"
+               "def worker():\n"
+               "    time.sleep(1.0)\n")
+        assert check_one("src/repro/service/myhandler.py", src) == []
+
+    def test_asy402_unawaited_module_coroutine(self):
+        src = ("async def helper():\n"
+               "    pass\n"
+               "async def handler():\n"
+               "    helper()\n")
+        vs = check_one("src/repro/service/myhandler.py", src)
+        assert codes(vs) == ["ASY402"]
+
+    def test_asy402_unawaited_self_method(self):
+        src = ("class Server:\n"
+               "    async def close(self):\n"
+               "        pass\n"
+               "    def shutdown(self):\n"
+               "        self.close()\n")
+        vs = check_one("src/repro/service/myserver.py", src)
+        assert codes(vs) == ["ASY402"]
+
+    def test_asy402_awaited_is_clean(self):
+        src = ("async def helper():\n"
+               "    pass\n"
+               "async def handler():\n"
+               "    await helper()\n")
+        assert check_one("src/repro/service/myhandler.py", src) == []
+
+    def test_asy403_untimed_network_await(self):
+        src = ("async def handler(reader):\n"
+               "    return await reader.readline()\n")
+        vs = check_one("src/repro/service/myhandler.py", src)
+        assert codes(vs) == ["ASY403"]
+
+    def test_asy403_wait_for_wrapped_is_clean(self):
+        src = ("import asyncio\n"
+               "async def handler(reader):\n"
+               "    return await asyncio.wait_for(reader.readline(), 10.0)\n")
+        assert check_one("src/repro/service/myhandler.py", src) == []
+
+    def test_asy403_scoped_to_service(self):
+        src = ("async def handler(reader):\n"
+               "    return await reader.readline()\n")
+        assert check_one("src/repro/harness/myutil.py", src) == []
+
+
+# ---------------------------------------------------------------------------
+# DIG5xx: digest purity and the env registry
+# ---------------------------------------------------------------------------
+
+class TestDigestPurity:
+    def test_dig501_mode_flag_read(self):
+        src = ("def point_digest(config):\n"
+               "    return {\"lanes\": config.lanes}\n")
+        vs = check_one("src/repro/harness/mydigest.py", src)
+        assert codes(vs) == ["DIG501"]
+
+    def test_dig501_mode_query_call(self):
+        src = ("from repro.core.sanitizer import sanitize_enabled\n"
+               "def simulator_salt():\n"
+               "    return str(sanitize_enabled())\n")
+        vs = check_one("src/repro/harness/mydigest.py", src)
+        assert codes(vs) == ["DIG501"]
+
+    def test_dig501_bare_asdict(self):
+        src = ("from dataclasses import asdict\n"
+               "def point_digest(config):\n"
+               "    return asdict(config)\n")
+        vs = check_one("src/repro/harness/mydigest.py", src)
+        assert codes(vs) == ["DIG501"]
+
+    def test_dig501_sanctioned_asdict_site_is_clean(self):
+        src = ("from dataclasses import asdict\n"
+               "def digest_config_dict(config):\n"
+               "    d = asdict(config)\n"
+               "    d.pop(\"sanitize\")\n"
+               "    return d\n")
+        assert check_one("src/repro/harness/mydigest.py", src) == []
+
+    def test_dig501_env_read_via_envvars_still_flagged(self):
+        # Going through the registry does not make the value
+        # digest-safe; the taint rule is about *what*, not *how*.
+        src = ("from repro import envvars\n"
+               "def point_digest():\n"
+               "    return envvars.raw(\"REPRO_JOBS\")\n")
+        vs = check_one("src/repro/harness/mydigest.py", src)
+        assert codes(vs) == ["DIG501"]
+
+    def test_dig501_only_in_digest_functions(self):
+        src = ("def schedule(config):\n"
+               "    return config.lanes\n")
+        assert check_one("src/repro/harness/myutil.py", src) == []
+
+    def test_dig502_direct_environ_read(self):
+        src = ("import os\n"
+               "def jobs():\n"
+               "    return os.environ.get(\"REPRO_JOBS\")\n")
+        vs = check_one("src/repro/harness/myutil.py", src)
+        assert codes(vs) == ["DIG502"]
+
+    def test_dig502_module_level_getenv(self):
+        src = ("import os\n"
+               "_SCALE = os.getenv(\"REPRO_SCALE\")\n")
+        vs = check_one("src/repro/harness/myutil.py", src)
+        assert codes(vs) == ["DIG502"]
+
+    def test_dig502_tests_exempt(self):
+        src = ("import os\n"
+               "def test_jobs(monkeypatch):\n"
+               "    assert os.environ.get(\"REPRO_JOBS\") is None\n")
+        assert check_one("tests/test_myutil.py", src) == []
+
+    def test_dig502_non_repro_vars_exempt(self):
+        src = ("import os\n"
+               "def home():\n"
+               "    return os.environ.get(\"HOME\")\n")
+        assert check_one("src/repro/harness/myutil.py", src) == []
+
+
+# ---------------------------------------------------------------------------
+# envvars registry (satellite)
+# ---------------------------------------------------------------------------
+
+class TestEnvRegistry:
+    def test_known_vars_registered(self):
+        expected = {"REPRO_JOBS", "REPRO_SCALE", "REPRO_CACHE_DIR",
+                    "REPRO_SANITIZE", "REPRO_FASTFORWARD", "REPRO_LANES",
+                    "REPRO_SERVICE_CRASH_ONCE"}
+        assert expected <= set(names())
+
+    def test_every_entry_documented(self):
+        for name, var in REGISTRY.items():
+            assert name.startswith("REPRO_")
+            assert var.doc, f"{name} has no doc"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="REGISTRY"):
+            lookup("REPRO_NOT_A_VAR")
+        with pytest.raises(KeyError):
+            raw("REPRO_NOT_A_VAR")
+
+    def test_flag_resolution(self, monkeypatch):
+        for off in sorted(OFF_VALUES):
+            monkeypatch.setenv("REPRO_LANES", off)
+            assert enabled("REPRO_LANES") is False
+        monkeypatch.setenv("REPRO_LANES", "1")
+        assert enabled("REPRO_LANES") is True
+        monkeypatch.delenv("REPRO_LANES", raising=False)
+        assert enabled("REPRO_LANES") is True    # default "1"
+        assert enabled("REPRO_SANITIZE") is False  # default "0"
+
+
+# ---------------------------------------------------------------------------
+# waivers, baseline, ordering, CLI
+# ---------------------------------------------------------------------------
+
+class TestDriver:
+    def test_inline_waiver_suppresses(self):
+        src = ("from repro.core.dynamic import DynInstr\n"
+               "class Pipeline:\n"
+               "    def _fetch_one(self, dyn: DynInstr) -> int:\n"
+               "        return dyn.issue_cycle  "
+               "# repro-lint: waive=SLOT202\n")
+        assert check_one("src/repro/core/mystage.py", src) == []
+
+    def test_waiver_is_code_specific(self):
+        src = ("from repro.core.dynamic import DynInstr\n"
+               "class Pipeline:\n"
+               "    def _fetch_one(self, dyn: DynInstr) -> int:\n"
+               "        return dyn.issue_cycle  "
+               "# repro-lint: waive=LANE301\n")
+        assert codes(check_one("src/repro/core/mystage.py", src)) \
+            == ["SLOT202"]
+
+    def test_baseline_round_trip(self, tmp_path):
+        src = ("from repro.core.dynamic import DynInstr\n"
+               "class Pipeline:\n"
+               "    def _fetch_one(self, dyn: DynInstr) -> int:\n"
+               "        return dyn.issue_cycle\n")
+        vs = check_one("src/repro/core/mystage.py", src)
+        assert vs
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, vs)
+        keys = baseline_keys(baseline)
+        remaining, baselined = apply_baseline(vs, keys)
+        assert remaining == [] and baselined == len(vs)
+        # a *new* finding is not absorbed by the baseline
+        other = check_one(
+            "src/repro/core/mystage.py",
+            src.replace("issue_cycle", "retire_cycle"))
+        remaining, _ = apply_baseline(other, keys)
+        assert codes(remaining) == ["SLOT202"]
+
+    def test_missing_baseline_is_none(self, tmp_path):
+        assert baseline_keys(tmp_path / "nope.json") is None
+
+    def test_findings_sorted_canonically(self):
+        src = ("import time\n"
+               "async def b_handler(reader):\n"
+               "    time.sleep(1)\n"
+               "    await reader.drain()\n")
+        vs = check_sources({
+            "src/repro/service/b.py": src,
+            "src/repro/service/a.py": src,
+        })
+        keys = [(v.path, v.line, v.col, v.code) for v in vs]
+        assert keys == sorted(keys)
+        assert [v.path for v in vs] == ["src/repro/service/a.py"] * 2 \
+            + ["src/repro/service/b.py"] * 2
+
+    def test_explain_known_and_unknown(self, capsys):
+        for code in ("DET101", "SLOT202", "LANE301", "ASY403", "DIG501"):
+            text = explain(code)
+            assert text and code in text
+        assert explain("NOPE999") is None
+        assert check_main(["--explain", "SLOT202"]) == 0
+        assert "owning stage" in capsys.readouterr().out
+        assert check_main(["--explain", "NOPE999"]) == 2
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "svc"
+        bad.mkdir()
+        mod = bad / "myhandler.py"
+        mod.write_text("import time\n"
+                       "async def handler():\n"
+                       "    time.sleep(1)\n")
+        rc = check_main([str(mod), "--output", "json",
+                         "--baseline", str(tmp_path / "none.json")])
+        # outside the repro package tree: ASY401 still applies
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "repro-check"
+        assert [f["code"] for f in doc["findings"]] == ["ASY401"]
+
+    def test_cli_sarif_output(self, tmp_path, capsys):
+        mod = tmp_path / "myhandler.py"
+        mod.write_text("async def handler(reader):\n"
+                       "    return await reader.readline()\n")
+        rc = check_main([str(mod), "--output", "sarif",
+                         "--baseline", str(tmp_path / "none.json")])
+        assert rc == 0  # ASY403 is service-scoped; tmp file is outside
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert {"SLOT202", "LANE301", "ASY403", "DIG501", "DIG502"} \
+            <= {r["id"] for r in rules}
+
+    def test_write_baseline_cli(self, tmp_path, capsys):
+        mod = tmp_path / "mod.py"
+        mod.write_text("def f(x=[]):\n    return x\n")  # DET103
+        baseline = tmp_path / "baseline.json"
+        assert check_main([str(mod), "--write-baseline",
+                           "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert check_main([str(mod), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+        assert check_main([str(mod), "--baseline", str(baseline),
+                           "--no-baseline"]) == 1
+
+
+# ---------------------------------------------------------------------------
+# the real tree
+# ---------------------------------------------------------------------------
+
+class TestRepoClean:
+    def test_whole_repo_is_clean(self):
+        paths = [REPO_ROOT / "src", REPO_ROOT / "tests"]
+        from repro.lint import check_paths
+        vs = check_paths(paths)
+        assert vs == [], "\n".join(v.format() for v in vs)
+
+    def test_model_covers_repo(self):
+        model = ProjectModel.from_paths(
+            sorted((REPO_ROOT / "src").rglob("*.py")))
+        assert model.module("core/dynamic.py") is not None
+        assert model.module("core/lanes.py") is not None
+        # the async index sees the service layer
+        assert any("server.py" in tail
+                   for tail in model.async_functions())

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the result warehouse, used by CI.
+
+Runs a smoke campaign grid through the parallel process fan-out into a
+throwaway store, then asserts:
+
+1. live ingest indexed exactly one row per grid point, and a full
+   ``repro warehouse rebuild`` reproduces the same rows bit for bit
+   (timestamps aside);
+2. ``repro query`` sees the whole grid, and the campaign filter sees
+   exactly the campaign;
+3. ``repro baseline record`` followed by ``check`` passes clean (exit
+   0) and a seeded STP regression makes ``check`` exit 1.
+
+Exits nonzero (with the failure on stderr) if any step misbehaves.
+
+Usage: ``PYTHONPATH=src python scripts/warehouse_smoke.py``
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+# NOTE: the store env var is set inside main(), NOT at module level —
+# the campaign's spawn workers re-import this script as ``__mp_main__``
+# and a top-level mkdtemp would re-point every worker at its own
+# throwaway store, splitting the index across directories.
+
+from repro.__main__ import main as repro_main  # noqa: E402
+from repro.harness.campaign import Campaign, CampaignPoint  # noqa: E402
+from repro.harness.cache import get_store  # noqa: E402
+from repro.harness.configs import base64_config, shelf_config  # noqa: E402
+
+MIXES = [("ilp.int8", "serial.alu"), ("branchy.easy", "gather.small")]
+LENGTH = 300
+TAG = "wh-smoke"
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def step(message: str) -> None:
+    print(f"ok: {message}", flush=True)
+
+
+def build_points():
+    """The grid: two configs x two mixes, plus the single-thread
+    reference runs the derived STP/ANTT columns need."""
+    points = []
+    for name, cfg in (("Base64", base64_config(2)),
+                      ("Shelf", shelf_config(2))):
+        points += [CampaignPoint(name, cfg, mix, LENGTH, seed=i)
+                   for i, mix in enumerate(MIXES)]
+    ref = base64_config(1)
+    seen = set()
+    for i, mix in enumerate(MIXES):
+        for tid, bench in enumerate(mix):
+            if (bench, i + tid) in seen:
+                continue
+            seen.add((bench, i + tid))
+            points.append(CampaignPoint("ref", ref, (bench,), LENGTH,
+                                        seed=i + tid, stop="all"))
+    return points
+
+
+def indexed_rows(wh):
+    rows = wh.execute("SELECT * FROM results ORDER BY digest")
+    out = {}
+    for row in rows:
+        doc = dict(row)
+        doc.pop("created_at")
+        doc.pop("ingested_at")
+        out[doc["digest"]] = doc
+    return out
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="repro-wh-smoke-")
+    os.environ["REPRO_CACHE_DIR"] = tmp
+    points = build_points()
+    grid = len(points)
+    campaign = Campaign(os.path.join(tmp, "smoke.jsonl"), points, tag=TAG)
+    campaign.run(jobs=2)
+    step(f"campaign ran {grid} point(s) across 2 workers")
+
+    store = get_store()
+    wh = store.warehouse()
+    wh.refresh_derived()
+    live = indexed_rows(wh)
+    if len(live) != grid:
+        fail(f"live ingest indexed {len(live)} row(s), expected {grid}")
+    stp_rows = [r for r in live.values() if r["stp"] is not None]
+    if len(stp_rows) != grid:
+        fail(f"derived STP present on {len(stp_rows)}/{grid} row(s)")
+    step("live ingest matches the grid, derived metrics filled")
+
+    if repro_main(["warehouse", "rebuild"]) != 0:
+        fail("warehouse rebuild exited nonzero")
+    if indexed_rows(wh) != live:
+        fail("rebuild produced different rows than live ingest")
+    step("rebuild reproduces the live-ingested rows exactly")
+
+    from repro.warehouse.query import select_rows
+    _, rows = select_rows(wh, select=["digest"])
+    if len(rows) != grid:
+        fail(f"query saw {len(rows)} row(s), expected {grid}")
+    _, rows = select_rows(wh, select=["digest"], campaign=TAG)
+    if len(rows) != grid:
+        fail(f"campaign filter saw {len(rows)} row(s), expected {grid}")
+    if repro_main(["query", "--where", f"campaign={TAG}"]) != 0:
+        fail("repro query exited nonzero")
+    step("query row counts match the grid")
+
+    baseline = os.path.join(tmp, "baseline.json")
+    if repro_main(["baseline", "record", "--file", baseline,
+                   "--metric", "stp", "--metric", "cycles"]) != 0:
+        fail("baseline record exited nonzero")
+    if repro_main(["baseline", "check", "--file", baseline]) != 0:
+        fail("clean baseline check should exit 0")
+    step("baseline record/check round-trips clean")
+
+    with wh._lock, wh._conn:
+        wh._conn.execute(
+            "UPDATE results SET stp = stp * 0.5 WHERE num_threads = 2")
+    if repro_main(["baseline", "check", "--file", baseline]) != 1:
+        fail("seeded STP regression must make baseline check exit 1")
+    step("seeded STP regression detected (exit 1)")
+
+    print("warehouse smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,11 @@ Subcommands:
 * ``check``        lint + the slot/lane/async/digest contract passes;
 * ``cache``        inspect / garbage-collect the persistent result store;
 * ``serve``        run the simulation service (queue + worker fleet);
-* ``submit``       submit a simulation to a running service.
+* ``submit``       submit a simulation to a running service;
+* ``query``        filter/project/aggregate the result warehouse;
+* ``diff``         compare two campaigns point by point;
+* ``baseline``     record / check a metric-regression baseline;
+* ``warehouse``    rebuild or inspect the warehouse index itself.
 """
 
 from __future__ import annotations
@@ -165,14 +169,144 @@ def _cmd_cache(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        removed, freed = store.gc(max_bytes)
-        print(f"evicted {removed} entr{'y' if removed == 1 else 'ies'}, "
-              f"freed {freed} bytes")
+        gc = store.gc(max_bytes)
+        print(f"evicted {gc.removed} entr{'y' if gc.removed == 1 else 'ies'}"
+              f", freed {gc.freed_bytes} bytes")
     disk = store.disk_stats()
     print(f"store:   {store.directory}")
     print(f"salt:    {simulator_salt()}")
     print(f"entries: {disk['entries']}")
     print(f"bytes:   {disk['bytes']}")
+    if disk["index_present"]:
+        print(f"index:   {disk['index_rows']} row(s), "
+              f"{disk['index_bytes']} bytes")
+    else:
+        print("index:   absent (run `repro warehouse rebuild`)")
+    return 0
+
+
+def _open_warehouse_cli():
+    """The (store, warehouse) pair for warehouse subcommands, or
+    ``(None, None)`` after printing why (store or warehouse disabled)."""
+    from repro.harness.cache import get_store
+    store = get_store()
+    if store is None:
+        print("persistent result store is disabled "
+              "(REPRO_CACHE_DIR=off)", file=sys.stderr)
+        return None, None
+    wh = store.warehouse()
+    if wh is None:
+        print("warehouse is disabled (REPRO_WAREHOUSE_DB=off) or "
+              "unwritable", file=sys.stderr)
+        return None, None
+    return store, wh
+
+
+def _refresh_derived_quietly(wh) -> None:
+    """Fill in any STP/ANTT that became computable since the last write
+    (live ingest defers them); reading commands call this so freshly
+    simulated sweeps query correctly without an explicit rebuild."""
+    from repro.warehouse import WAREHOUSE_ERRORS
+    try:
+        wh.refresh_derived()
+    except WAREHOUSE_ERRORS:
+        pass  # read-only index: query what is there
+
+
+def _cmd_query(args) -> int:
+    from repro.warehouse import (QUERYABLE_COLUMNS, QueryError,
+                                 aggregate_rows, format_rows, select_rows)
+    if args.list_columns:
+        width = max(len(c) for c in QUERYABLE_COLUMNS)
+        for name, doc in QUERYABLE_COLUMNS.items():
+            print(f"{name:<{width}}  {doc}")
+        return 0
+    store, wh = _open_warehouse_cli()
+    if wh is None:
+        return 1
+    if args.rebuild:
+        print(f"reindexed {wh.rebuild(store)} result(s)", file=sys.stderr)
+    _refresh_derived_quietly(wh)
+    select = args.select.split(",") if args.select else None
+    try:
+        if args.group_by or args.agg:
+            headers, rows = aggregate_rows(
+                wh, group_by=args.group_by.split(",") if args.group_by
+                else [], aggs=args.agg or [], where=args.where,
+                sort=args.sort, limit=args.limit, campaign=args.campaign)
+        else:
+            headers, rows = select_rows(
+                wh, where=args.where, select=select, sort=args.sort,
+                limit=args.limit, campaign=args.campaign)
+        print(format_rows(headers, rows, args.format))
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.warehouse import QueryError, diff_campaigns, format_diff
+    store, wh = _open_warehouse_cli()
+    if wh is None:
+        return 1
+    _refresh_derived_quietly(wh)
+    from repro.warehouse.diff import DEFAULT_METRICS
+    try:
+        diff = diff_campaigns(wh, args.campaign_a, args.campaign_b,
+                              metrics=args.metric or list(DEFAULT_METRICS),
+                              tolerance=args.tolerance)
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_diff(diff, args.format, all_points=args.all))
+    return 1 if diff.regressions else 0
+
+
+def _cmd_baseline(args) -> int:
+    from repro.warehouse import baseline as _baseline
+    from repro.warehouse import QueryError
+    store, wh = _open_warehouse_cli()
+    if wh is None:
+        return 1
+    _refresh_derived_quietly(wh)
+    try:
+        if args.baseline_cmd == "record":
+            count = _baseline.record(
+                wh, args.file, metrics=args.metric or
+                _baseline.DEFAULT_METRICS, where=args.where,
+                campaign=args.campaign, tolerance=args.tolerance)
+            print(f"recorded {count} point(s) to {args.file}")
+            return 0
+        report = _baseline.check(wh, args.file, tolerance=args.tolerance,
+                                 where=args.where, campaign=args.campaign)
+    except _baseline.BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(_baseline.format_report(report, args.format))
+    return 0 if report.ok else 1
+
+
+def _cmd_warehouse(args) -> int:
+    store, wh = _open_warehouse_cli()
+    if wh is None:
+        return 1
+    if args.warehouse_cmd == "rebuild":
+        count = wh.rebuild(store)
+        print(f"reindexed {count} result(s) into {wh.path}")
+        return 0
+    # status
+    _refresh_derived_quietly(wh)
+    print(f"index:     {wh.path}")
+    print(f"rows:      {wh.row_count()}")
+    print(f"bytes:     {wh.size_bytes()}")
+    for status in wh.campaign_status():
+        total = status["total"] if status["total"] is not None else "?"
+        print(f"campaign:  {status['name']} {status['marked']}/{total} "
+              f"point(s)")
     return 0
 
 
@@ -458,6 +592,88 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--json", action="store_true",
                     help="print the full result document as JSON")
     sb.set_defaults(func=_cmd_submit)
+
+    qr = sub.add_parser("query",
+                        help="filter/project/aggregate the result "
+                             "warehouse")
+    qr.add_argument("--where", action="append", default=[],
+                    metavar="COL OP VAL",
+                    help="row filter, e.g. 'cycles>1000', 'mix~ilp', "
+                         "'campaign=sweep1' (repeatable, ANDed)")
+    qr.add_argument("--select", default=None, metavar="COL,COL,...",
+                    help="columns to project (default: the summary set)")
+    qr.add_argument("--sort", default=None, metavar="COL[:desc]",
+                    help="sort column (default: point identity)")
+    qr.add_argument("--limit", type=int, default=None, metavar="N")
+    qr.add_argument("--group-by", default=None, metavar="COL,COL,...",
+                    help="aggregate instead of listing rows")
+    qr.add_argument("--agg", action="append", default=[],
+                    metavar="FN:COL",
+                    help="aggregate function, e.g. mean:stp, geomean:ipc, "
+                         "count (repeatable)")
+    qr.add_argument("--campaign", default=None, metavar="TAG",
+                    help="restrict to one campaign's points")
+    qr.add_argument("--format", choices=["text", "json", "csv"],
+                    default="text")
+    qr.add_argument("--rebuild", action="store_true",
+                    help="rescan the store into the index first")
+    qr.add_argument("--list-columns", action="store_true",
+                    help="describe every queryable column and exit")
+    qr.set_defaults(func=_cmd_query)
+
+    df = sub.add_parser("diff",
+                        help="compare two campaigns point by point")
+    df.add_argument("campaign_a", help="baseline campaign tag")
+    df.add_argument("campaign_b", help="candidate campaign tag")
+    df.add_argument("--metric", action="append", default=[],
+                    metavar="COL",
+                    help="metric column to compare (repeatable; default: "
+                         "cycles, ipc, stp, edp)")
+    df.add_argument("--tolerance", type=float, default=0.01, metavar="REL",
+                    help="relative drift allowed before flagging "
+                         "(default: 0.01)")
+    df.add_argument("--all", action="store_true",
+                    help="show every common point, not just regressions")
+    df.add_argument("--format", choices=["text", "json"], default="text")
+    df.set_defaults(func=_cmd_diff)
+
+    bl = sub.add_parser("baseline",
+                        help="record / check a metric-regression baseline")
+    bl_sub = bl.add_subparsers(dest="baseline_cmd", required=True)
+    for name, help_text in (("record", "snapshot current metrics"),
+                            ("check", "compare the warehouse against a "
+                                      "recorded baseline")):
+        blp = bl_sub.add_parser(name, help=help_text)
+        blp.add_argument("--file", default=".repro-warehouse-baseline.json",
+                         metavar="FILE")
+        blp.add_argument("--metric", action="append", default=[],
+                         metavar="COL",
+                         help="metric column (repeatable; default: "
+                              "cycles, ipc, stp, edp)")
+        blp.add_argument("--where", action="append", default=[],
+                         metavar="COL OP VAL",
+                         help="restrict the point set (repeatable)")
+        blp.add_argument("--campaign", default=None, metavar="TAG")
+        blp.add_argument("--tolerance", type=float,
+                         default=0.02 if name == "record" else None,
+                         metavar="REL",
+                         help="relative drift allowed (check default: "
+                              "the recorded value)")
+        blp.set_defaults(func=_cmd_baseline)
+    bl_sub.choices["check"].add_argument(
+        "--format", choices=["text", "json"], default="text")
+    bl_sub.choices["record"].set_defaults(format="text")
+    bl.set_defaults(func=_cmd_baseline)
+
+    wa = sub.add_parser("warehouse",
+                        help="rebuild or inspect the warehouse index")
+    wa_sub = wa.add_subparsers(dest="warehouse_cmd", required=True)
+    wa_rebuild = wa_sub.add_parser(
+        "rebuild", help="rescan every stored blob into the index")
+    wa_rebuild.set_defaults(func=_cmd_warehouse)
+    wa_status = wa_sub.add_parser(
+        "status", help="print index location, rows, size, campaigns")
+    wa_status.set_defaults(func=_cmd_warehouse)
     return parser
 
 

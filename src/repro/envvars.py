@@ -75,6 +75,19 @@ REGISTRY: Dict[str, EnvVar] = {var.name: var for var in (
         "(default on).  0 selects the per-object reference pipeline; "
         "results are bit-identical either way."),
     EnvVar(
+        "REPRO_WAREHOUSE_DB", None, "path",
+        "Result-warehouse index location (a sqlite file).  Unset = "
+        "<store dir>/warehouse.sqlite3 next to the content-addressed "
+        "blobs; a path = that file; any of off/0/none/empty = the "
+        "warehouse is disabled entirely (no ingest, no queries)."),
+    EnvVar(
+        "REPRO_WAREHOUSE_INGEST", "1", "flag",
+        "Live warehouse ingest on ResultStore.put (default on): every "
+        "stored result is indexed the moment it is written.  0 turns "
+        "the ingest hook off — `repro warehouse rebuild` can always "
+        "reconstruct the index from the blobs later.  Never affects "
+        "record blobs or digests."),
+    EnvVar(
         "REPRO_SERVICE_CRASH_ONCE", None, "path",
         "Test-only fault injection for the simulation service: a file "
         "path.  When the file exists, the next worker batch deletes it "

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CoreConfig
 from repro.core.stats import SimResult
+from repro.harness.cache import point_digest
 from repro.harness.executor import run_points
 
 
@@ -40,6 +41,12 @@ class CampaignPoint:
         mix = "+".join(self.benchmarks)
         return (f"{self.config_name}|{mix}|{self.length}|{self.seed}|"
                 f"{self.stop}")
+
+    @property
+    def digest(self) -> str:
+        """Content digest — the store / warehouse key for this point."""
+        return point_digest(self.config, self.benchmarks, self.length,
+                            self.seed, self.stop)
 
 
 def _point_record(point: CampaignPoint, record: dict,
@@ -62,12 +69,22 @@ def _result_record(point: CampaignPoint, result: SimResult,
 
 
 class Campaign:
-    """A checkpointed batch of simulation points."""
+    """A checkpointed batch of simulation points.
+
+    Every campaign carries a *tag* (default: the checkpoint file's
+    stem) under which its progress is reported to the warehouse index —
+    one membership row per completed point — so `repro query --where
+    campaign=<tag>`, `repro diff`, and the service's ``/campaigns``
+    endpoint can watch a sweep materialize.  Warehouse reporting is
+    strictly best-effort: an unwritable index never fails a campaign.
+    """
 
     def __init__(self, path: Union[str, Path],
-                 points: Sequence[CampaignPoint]) -> None:
+                 points: Sequence[CampaignPoint],
+                 tag: Optional[str] = None) -> None:
         self.path = Path(path)
         self.points = list(points)
+        self.tag = tag if tag is not None else self.path.stem
         keys = [p.key for p in self.points]
         if len(set(keys)) != len(keys):
             raise ValueError("duplicate campaign points")
@@ -128,15 +145,48 @@ class Campaign:
             return self._run_via_service(service, progress)
         total = len(self.points)
         pending = self.pending
+        warehouse = self._begin_campaign()
         specs = [(p.config, p.benchmarks, p.length, p.seed, p.stop)
                  for p in pending]
         with self._checkpoint_file() as fh:
             for i, result, elapsed in run_points(specs, jobs=jobs):
                 self._checkpoint(fh, pending[i],
                                  _result_record(pending[i], result, elapsed))
+                self._mark_progress(warehouse, pending[i])
                 if progress:
                     progress(pending[i].key, self.completed, total)
         return dict(self.records)
+
+    # -- warehouse campaign reporting ---------------------------------------
+
+    def _begin_campaign(self):
+        """Declare this campaign in the warehouse (and back-fill marks
+        for points completed by earlier runs).  Returns the warehouse
+        handle, or ``None`` when analytics are unavailable — campaigns
+        never fail because of the index."""
+        from repro import warehouse as _warehouse
+        from repro.harness.cache import get_store
+        store = get_store()
+        wh = store.warehouse() if store is not None else None
+        if wh is None:
+            return None
+        try:
+            wh.campaign_begin(self.tag, total=len(self.points))
+            for p in self.points:
+                if p.key in self.records:
+                    wh.campaign_mark(self.tag, p.digest, p.key)
+        except _warehouse.WAREHOUSE_ERRORS:
+            return None
+        return wh
+
+    def _mark_progress(self, warehouse, point: CampaignPoint) -> None:
+        if warehouse is None:
+            return
+        from repro import warehouse as _warehouse
+        try:
+            warehouse.campaign_mark(self.tag, point.digest, point.key)
+        except _warehouse.WAREHOUSE_ERRORS:
+            pass  # best-effort analytics (see _begin_campaign)
 
     def _checkpoint_file(self):
         """Open the checkpoint for appending, first terminating any
@@ -165,8 +215,10 @@ class Campaign:
             else service
         total = len(self.points)
         pending = self.pending
+        warehouse = self._begin_campaign()
         job_ids = {client.submit_point(p.config, p.benchmarks, p.length,
-                                       seed=p.seed, stop=p.stop): p
+                                       seed=p.seed, stop=p.stop,
+                                       campaign=self.tag): p
                    for p in pending}
         with self._checkpoint_file() as fh:
             outstanding = dict(job_ids)
@@ -186,6 +238,7 @@ class Campaign:
                     elapsed = record.pop("elapsed_s", 0.0)
                     self._checkpoint(fh, point,
                                      _point_record(point, record, elapsed))
+                    self._mark_progress(warehouse, point)
                     if progress:
                         progress(point.key, self.completed, total)
                 if outstanding:

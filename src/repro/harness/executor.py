@@ -123,7 +123,10 @@ def simulate_point(config: CoreConfig, benchmarks: Tuple[str, ...],
               for i, b in enumerate(benchmarks)]
     result = Pipeline(config, traces).run(stop=stop)
     if store is not None:
-        store.put(digest, result)
+        # the point tuple rides along so the store can write the meta
+        # sidecar and the warehouse row with full config columns.
+        store.put(digest, result,
+                  point=(config, benchmarks, length, seed, stop))
     return result
 
 

@@ -84,26 +84,35 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")[1]
 
+    def campaigns(self) -> list:
+        """Live per-campaign analytics (the ``GET /campaigns`` list)."""
+        return self._request("GET", "/campaigns")[1]["campaigns"]
+
     def submit(self, spec: Union[JobSpec, dict], priority: int = 0,
-               timeout_s: Optional[float] = None) -> dict:
+               timeout_s: Optional[float] = None,
+               campaign: Optional[str] = None) -> dict:
         """Submit a job; returns the initial status document
-        (``job_id``, ``state``, ...)."""
+        (``job_id``, ``state``, ...).  *campaign* tags the job for
+        warehouse analytics without affecting its identity."""
         payload = spec.to_wire() if isinstance(spec, JobSpec) else dict(spec)
         payload["priority"] = priority
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
+        if campaign is not None:
+            payload["campaign"] = campaign
         return self._request("POST", "/jobs", payload)[1]
 
     def submit_point(self, config: CoreConfig, benchmarks: Sequence[str],
                      length: int, seed: int = 0, stop: str = "first",
                      priority: int = 0,
-                     timeout_s: Optional[float] = None) -> str:
+                     timeout_s: Optional[float] = None,
+                     campaign: Optional[str] = None) -> str:
         """Submit one executor-style point; returns its job id."""
         payload = {"config": config_to_wire(config),
                    "benchmarks": list(benchmarks),
                    "length": length, "seed": seed, "stop": stop}
         return self.submit(payload, priority=priority,
-                           timeout_s=timeout_s)["job_id"]
+                           timeout_s=timeout_s, campaign=campaign)["job_id"]
 
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")[1]

@@ -126,6 +126,12 @@ class JobSpec:
         """Content digest — identical to a direct store/runner digest."""
         return point_digest(*self.point())
 
+    def point_key(self) -> str:
+        """Warehouse point identity (salt-robust, unlike the digest)."""
+        from repro.warehouse.index import point_key
+        return point_key(self.config.label(), "+".join(self.benchmarks),
+                         self.length, self.seed, self.stop)
+
     def to_wire(self) -> dict:
         return {
             "config": config_to_wire(self.config),
@@ -174,6 +180,7 @@ class Job:
     digest: str
     priority: int = 0
     timeout_s: Optional[float] = None
+    campaign: Optional[str] = None  #: analytics tag; not part of identity
     state: str = JobState.QUEUED
     attempts: int = 0           #: completed attempts that crashed a worker
     cached: bool = False        #: served from the store, no execution
@@ -206,6 +213,7 @@ class Job:
             "digest": self.digest,
             "priority": self.priority,
             "timeout_s": self.timeout_s,
+            "campaign": self.campaign,
             "attempts": self.attempts,
             "cached": self.cached,
             "dedup_of": self.dedup_of,
@@ -253,16 +261,24 @@ class JobQueue:
     # -- submission --------------------------------------------------------
 
     def submit(self, spec: JobSpec, priority: int = 0,
-               timeout_s: Optional[float] = None) -> Job:
+               timeout_s: Optional[float] = None,
+               campaign: Optional[str] = None) -> Job:
         """Enqueue a spec; may complete it instantly (store hit) or fold
         it into an identical in-flight job (returned job is a follower).
+
+        *campaign* is a pure analytics tag: completed jobs carrying one
+        are marked under it in the warehouse index, so ``/campaigns``
+        (and ``repro query --campaign``) can watch a sweep progress.  It
+        never affects identity — two submissions of the same point under
+        different campaigns still dedup to one simulation, and each is
+        marked under its own tag.
         """
         digest = spec.digest()
         now = time.monotonic()
         with self._lock:
             job = Job(job_id=f"j{next(self._ids):06d}", spec=spec,
                       digest=digest, priority=priority, timeout_s=timeout_s,
-                      submitted_at=now)
+                      campaign=campaign, submitted_at=now)
             self.jobs[job.job_id] = job
             primary = self._active_by_digest.get(digest)
             if primary is not None and not primary.finished:
@@ -358,8 +374,25 @@ class JobQueue:
         return followers
 
     def _notify(self, job: Job) -> None:
+        self._mark_campaign(job)
         if self.on_finish is not None:
             self.on_finish(job)
+
+    def _mark_campaign(self, job: Job) -> None:
+        """Record a successfully finished job under its campaign tag in
+        the warehouse (best-effort — analytics never fail a job)."""
+        if job.campaign is None or job.state != JobState.DONE or \
+                self.store is None:
+            return
+        wh = self.store.warehouse()
+        if wh is None:
+            return
+        from repro.warehouse import WAREHOUSE_ERRORS
+        try:
+            wh.campaign_mark(job.campaign, job.digest,
+                             key=job.spec.point_key())
+        except WAREHOUSE_ERRORS:
+            self.store.index_errors += 1
 
     # -- introspection -----------------------------------------------------
 

@@ -47,10 +47,26 @@ class ServiceMetrics:
         }
         self._latencies: deque = deque(maxlen=reservoir)
         self._completions: deque = deque()  #: monotonic finish stamps
+        #: per-campaign {submitted, completed, failed} counters, keyed
+        #: by the analytics tag riding on submissions (see Job.campaign).
+        self._campaigns: Dict[str, Dict[str, int]] = {}
 
     def inc(self, name: str, n: int = 1) -> None:
         with self._lock:
             self.counters[name] += n
+
+    def _campaign(self, name: str) -> Dict[str, int]:
+        return self._campaigns.setdefault(
+            name, {"submitted": 0, "completed": 0, "failed": 0})
+
+    def campaign_submitted(self, name: str) -> None:
+        with self._lock:
+            self._campaign(name)["submitted"] += 1
+
+    def campaign_counters(self) -> Dict[str, Dict[str, int]]:
+        """Copy of the per-campaign counters (the ``/campaigns`` feed)."""
+        with self._lock:
+            return {name: dict(c) for name, c in self._campaigns.items()}
 
     def job_finished(self, job: Job) -> None:
         """Record a job reaching a terminal state (the queue's
@@ -61,6 +77,10 @@ class ServiceMetrics:
                 self.counters["jobs_completed"] += 1
             else:
                 self.counters["jobs_failed"] += 1
+            if job.campaign is not None:
+                key = "completed" if job.state == JobState.DONE \
+                    else "failed"
+                self._campaign(job.campaign)[key] += 1
             if job.latency_s is not None:
                 self._latencies.append(job.latency_s)
             self._completions.append(now)
@@ -77,6 +97,7 @@ class ServiceMetrics:
             latencies = sorted(self._latencies)
             cutoff = now - self.window_s
             recent = sum(1 for t in self._completions if t >= cutoff)
+            campaigns_tracked = len(self._campaigns)
         uptime = now - self.started_at
         window = min(self.window_s, uptime) or 1e-9
         submitted = counters["jobs_submitted"]
@@ -94,5 +115,6 @@ class ServiceMetrics:
             if submitted else 0.0,
             "latency_p50_s": _quantile(latencies, 0.50),
             "latency_p95_s": _quantile(latencies, 0.95),
+            "campaigns_tracked": campaigns_tracked,
             **counters,
         }

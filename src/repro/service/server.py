@@ -15,6 +15,10 @@ streams — one request per connection, JSON in and out:
                           ones; 409 while the job is still in flight.
 ``GET /metrics``          queue depth, in-flight, cache hit rate, jobs/sec,
                           latency p50/p95, and every scheduler counter.
+``GET /campaigns``        live per-campaign analytics: the service's
+                          submitted/completed/failed counters merged with
+                          the warehouse's completion counts and rolling
+                          metric summaries (see :mod:`repro.warehouse`).
 ``GET /healthz``          liveness (+ ``draining`` flag).
 ========================  ==================================================
 
@@ -166,6 +170,8 @@ class ServiceServer:
         if path == "/metrics" and method == "GET":
             return 200, self.metrics.snapshot(
                 self.queue, self.scheduler.inflight, draining=self.draining)
+        if path == "/campaigns" and method == "GET":
+            return 200, self._campaigns()
         if path == "/jobs" and method == "POST":
             return self._submit(body)
         if path.startswith("/jobs/"):
@@ -183,6 +189,27 @@ class ServiceServer:
             return 404, {"error": f"no such endpoint {path!r}"}
         return 404, {"error": f"no such endpoint {path!r}"}
 
+    def _campaigns(self) -> dict:
+        """The ``GET /campaigns`` document: this process's per-campaign
+        submission counters merged with the warehouse's durable
+        completion counts and rolling metric summaries."""
+        counters = self.metrics.campaign_counters()
+        statuses = {}
+        store = self.queue.store
+        wh = store.warehouse() if store is not None else None
+        if wh is not None:
+            from repro.warehouse import WAREHOUSE_ERRORS
+            try:
+                statuses = {s["name"]: s for s in wh.campaign_status()}
+            except WAREHOUSE_ERRORS:
+                statuses = {}
+        campaigns = []
+        for name in sorted(set(counters) | set(statuses)):
+            campaigns.append({"name": name,
+                              "service": counters.get(name),
+                              **(statuses.get(name) or {})})
+        return {"campaigns": campaigns}
+
     def _submit(self, body: bytes) -> Tuple[int, dict]:
         if self.draining:
             return 503, {"error": "service is draining"}
@@ -195,11 +222,15 @@ class ServiceServer:
             priority = int(payload.get("priority", 0))
             timeout_s = payload.get("timeout_s")
             timeout_s = float(timeout_s) if timeout_s is not None else None
+            campaign = payload.get("campaign")
+            campaign = str(campaign) if campaign is not None else None
         except (ValueError, TypeError, UnicodeDecodeError) as exc:
             return 400, {"error": str(exc)}
         self.metrics.inc("jobs_submitted")
+        if campaign is not None:
+            self.metrics.campaign_submitted(campaign)
         job = self.queue.submit(spec, priority=priority,
-                                timeout_s=timeout_s)
+                                timeout_s=timeout_s, campaign=campaign)
         self.scheduler.kick()
         return 201, job.status()
 

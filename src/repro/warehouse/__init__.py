@@ -1,0 +1,66 @@
+"""Result warehouse: queryable campaign analytics over the store.
+
+The subsystem has four layers:
+
+* :mod:`repro.warehouse.index` — the sqlite columnar index itself
+  (:class:`Warehouse`): live ingest, full rebuild, gc invalidation,
+  derived STP/ANTT/EDP, campaign membership;
+* :mod:`repro.warehouse.query` — filter/project/sort/aggregate queries
+  with text/JSON/CSV output (``repro query``);
+* :mod:`repro.warehouse.diff` — campaign-vs-campaign comparison keyed
+  by point identity (``repro diff``);
+* :mod:`repro.warehouse.baseline` — committed-baseline regression
+  detection (``repro baseline record`` / ``check``).
+
+The warehouse is derived state over the content-addressed blobs: record
+pickles and their digests are never modified, and every view here can
+be reconstructed with ``repro warehouse rebuild``.
+"""
+
+from repro.warehouse.index import (
+    INDEX_SCHEMA,
+    WAREHOUSE_ERRORS,
+    Warehouse,
+    db_path_for,
+    ingest_enabled,
+    open_warehouse,
+    point_key,
+)
+from repro.warehouse.query import (
+    QUERYABLE_COLUMNS,
+    QueryError,
+    aggregate_rows,
+    format_rows,
+    select_rows,
+)
+from repro.warehouse.diff import CampaignDiff, diff_campaigns, format_diff
+from repro.warehouse.baseline import (
+    BaselineError,
+    CheckReport,
+    check,
+    format_report,
+    record,
+)
+
+__all__ = [
+    "INDEX_SCHEMA",
+    "WAREHOUSE_ERRORS",
+    "Warehouse",
+    "db_path_for",
+    "ingest_enabled",
+    "open_warehouse",
+    "point_key",
+    "QUERYABLE_COLUMNS",
+    "QueryError",
+    "aggregate_rows",
+    "format_rows",
+    "select_rows",
+    "CampaignDiff",
+    "diff_campaigns",
+    "format_diff",
+    "BaselineError",
+    "CheckReport",
+    "check",
+    "format_report",
+    "record",
+]

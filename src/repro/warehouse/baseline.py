@@ -1,0 +1,197 @@
+"""Committed-baseline regression detection over the warehouse.
+
+``repro baseline record`` snapshots the current warehouse metrics for a
+set of points into a small JSON file meant to be committed next to the
+code (the same workflow as ``.repro-check-baseline.json``); ``repro
+baseline check`` re-reads the warehouse and fails — exit code 1, the
+:mod:`repro.lint` convention — when any point's metric moved beyond the
+relative tolerance in the bad direction, or when a baselined point has
+vanished from the index.
+
+Points are keyed by identity (``config_label|mix|length|seed|stop``),
+so a baseline survives simulator-source changes: after an edit, the
+store re-simulates under new digests, the warehouse re-indexes, and the
+check compares the *numbers* — which is the point.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.warehouse.diff import (DEFAULT_METRICS, classify,
+                                  relative_delta)
+from repro.warehouse.index import Warehouse
+from repro.warehouse.query import QueryError, select_rows
+
+#: on-disk baseline format version.
+BASELINE_SCHEMA = 1
+
+DEFAULT_BASELINE_FILE = ".repro-warehouse-baseline.json"
+DEFAULT_TOLERANCE = 0.02
+
+
+class BaselineError(ValueError):
+    """Unreadable/invalid baseline file (CLI exit code 2)."""
+
+
+@dataclass
+class Finding:
+    """One baseline violation."""
+
+    pkey: str
+    kind: str          #: 'regression' | 'missing'
+    metric: Optional[str] = None
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    delta: Optional[float] = None
+
+    def format(self) -> str:
+        if self.kind == "missing":
+            return f"{self.pkey}: baselined point missing from the index"
+        return (f"{self.pkey}: {self.metric} {self.baseline:.6g} -> "
+                f"{self.current:.6g} ({self.delta:+.2%})")
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``baseline check``."""
+
+    checked: int
+    tolerance: float
+    metrics: Sequence[str]
+    findings: List[Finding] = field(default_factory=list)
+    improvements: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _collect(wh: Warehouse, metrics: Sequence[str],
+             where: Sequence[str] = (),
+             campaign: Optional[str] = None) -> Dict[str, Dict[str, object]]:
+    """Current warehouse metrics keyed by point identity."""
+    select = ["pkey"] + list(metrics)
+    headers, rows = select_rows(wh, where=where, select=select,
+                                campaign=campaign)
+    index = {h: i for i, h in enumerate(headers)}
+    out: Dict[str, Dict[str, object]] = {}
+    for row in rows:
+        pkey = row[index["pkey"]]
+        # identical pkeys (the same point indexed under two digests after
+        # a salt change mid-store) collapse deterministically: rows
+        # arrive pkey-then-digest sorted, the first wins.
+        out.setdefault(pkey,
+                       {m: row[index[m]] for m in metrics})
+    return out
+
+
+def record(wh: Warehouse, path, metrics: Sequence[str] = DEFAULT_METRICS,
+           where: Sequence[str] = (), campaign: Optional[str] = None,
+           tolerance: float = DEFAULT_TOLERANCE) -> int:
+    """Write the baseline snapshot; returns how many points it holds."""
+    for metric in metrics:
+        if metric == "pkey":
+            raise QueryError("pkey is the baseline key, not a metric")
+    points = _collect(wh, metrics, where=where, campaign=campaign)
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "metrics": list(metrics),
+        "tolerance": tolerance,
+        "campaign": campaign,
+        "points": {k: points[k] for k in sorted(points)},
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True)
+                          + "\n")
+    return len(points)
+
+
+def load(path) -> dict:
+    """Read and validate a baseline file."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: "
+                            f"{exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} has unsupported schema "
+            f"{doc.get('schema') if isinstance(doc, dict) else doc!r} "
+            f"(expected {BASELINE_SCHEMA})")
+    if not isinstance(doc.get("points"), dict) or \
+            not isinstance(doc.get("metrics"), list):
+        raise BaselineError(f"baseline {path} is missing points/metrics")
+    return doc
+
+
+def check(wh: Warehouse, path,
+          tolerance: Optional[float] = None,
+          where: Sequence[str] = (),
+          campaign: Optional[str] = None) -> CheckReport:
+    """Compare the warehouse against a recorded baseline.
+
+    *tolerance* defaults to the value stored in the file.  Baselined
+    points missing from the index are findings (the sweep shrank or the
+    store was gc'd past its baseline); new points are ignored — record
+    a fresh baseline to adopt them.
+    """
+    doc = load(path)
+    metrics = [str(m) for m in doc["metrics"]]
+    if tolerance is None:
+        tolerance = float(doc.get("tolerance", DEFAULT_TOLERANCE))
+    current = _collect(wh, metrics, where=where,
+                       campaign=campaign if campaign is not None
+                       else doc.get("campaign"))
+    report = CheckReport(checked=len(doc["points"]), tolerance=tolerance,
+                         metrics=metrics)
+    for pkey in sorted(doc["points"]):
+        recorded = doc["points"][pkey]
+        row = current.get(pkey)
+        if row is None:
+            report.findings.append(Finding(pkey, "missing"))
+            continue
+        for metric in metrics:
+            base = recorded.get(metric)
+            now = row.get(metric)
+            if base is None and now is None:
+                continue
+            delta = relative_delta(base, now)
+            if delta is None and base != now:
+                # one side lost the metric entirely (e.g. derived STP
+                # no longer computable): treat as a regression.
+                report.findings.append(
+                    Finding(pkey, "regression", metric, base, now, None))
+                continue
+            verdict = classify(metric, delta, tolerance)
+            finding = Finding(pkey, "regression", metric, base, now,
+                              delta)
+            if verdict == "regressed":
+                report.findings.append(finding)
+            elif verdict == "improved":
+                report.improvements.append(finding)
+    return report
+
+
+def format_report(report: CheckReport, fmt: str = "text") -> str:
+    if fmt == "json":
+        return json.dumps({
+            "checked": report.checked,
+            "tolerance": report.tolerance,
+            "metrics": list(report.metrics),
+            "ok": report.ok,
+            "findings": [f.__dict__ for f in report.findings],
+            "improvements": [f.__dict__ for f in report.improvements],
+        }, indent=2)
+    lines = [f"baseline check: {report.checked} point(s), "
+             f"tolerance {report.tolerance:.1%} -> "
+             f"{'OK' if report.ok else f'{len(report.findings)} finding(s)'}"]
+    for f in report.findings:
+        lines.append(f"  REGRESSION {f.format()}")
+    for f in report.improvements:
+        lines.append(f"  improved   {f.format()}")
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Campaign-vs-campaign comparison over the warehouse index.
+
+Two campaigns sweeping the same grid — before/after a steering change,
+two policy variants, two simulator versions — are compared *by point
+identity* (``config_label|mix|length|seed|stop``), not by digest:
+digests are salted with the simulator source on purpose, and comparing
+across code versions is exactly what a diff is for.
+
+For every point present in both campaigns the per-metric relative delta
+is computed; points only in one campaign are reported as added/removed.
+A delta is a **regression** when it exceeds the relative tolerance *in
+the bad direction* for that metric (higher cycles/EDP/ANTT are worse,
+lower IPC/STP are worse); improvements beyond tolerance are reported
+but never fail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.warehouse.index import Warehouse
+
+#: direction per metric: +1 when larger values are better, -1 when
+#: smaller values are better.  Anything unlisted is compared both ways
+#: (any drift beyond tolerance counts as a regression).
+METRIC_DIRECTION: Dict[str, int] = {
+    "ipc": +1, "stp": +1, "bpred_accuracy": +1,
+    "cycles": -1, "edp": -1, "antt": -1, "energy_j": -1, "time_s": -1,
+}
+
+DEFAULT_METRICS = ("cycles", "ipc", "stp", "edp")
+
+
+@dataclass
+class PointDelta:
+    """One common point's per-metric comparison."""
+
+    pkey: str
+    deltas: Dict[str, Optional[float]]  #: metric -> relative delta (b vs a)
+    regressed: List[str] = field(default_factory=list)
+    improved: List[str] = field(default_factory=list)
+
+
+@dataclass
+class CampaignDiff:
+    """The full A-vs-B comparison."""
+
+    campaign_a: str
+    campaign_b: str
+    metrics: Sequence[str]
+    tolerance: float
+    common: List[PointDelta] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)    #: pkeys only in B
+    removed: List[str] = field(default_factory=list)  #: pkeys only in A
+
+    @property
+    def regressions(self) -> List[PointDelta]:
+        return [d for d in self.common if d.regressed]
+
+    def summary(self) -> dict:
+        return {
+            "campaign_a": self.campaign_a,
+            "campaign_b": self.campaign_b,
+            "metrics": list(self.metrics),
+            "tolerance": self.tolerance,
+            "common": len(self.common),
+            "added": len(self.added),
+            "removed": len(self.removed),
+            "regressions": len(self.regressions),
+        }
+
+
+def relative_delta(a: Optional[float],
+                   b: Optional[float]) -> Optional[float]:
+    """``(b - a) / |a|``; None when either side is missing or *a* is 0."""
+    if a is None or b is None:
+        return None
+    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+        return None
+    if a == 0 or not math.isfinite(a) or not math.isfinite(b):
+        return None
+    return (b - a) / abs(a)
+
+
+def classify(metric: str, delta: Optional[float],
+             tolerance: float) -> Optional[str]:
+    """'regressed', 'improved', or None (within tolerance / no data)."""
+    if delta is None or abs(delta) <= tolerance:
+        return None
+    direction = METRIC_DIRECTION.get(metric)
+    if direction is None:
+        return "regressed"  # unknown direction: any drift is suspect
+    worse = delta < 0 if direction > 0 else delta > 0
+    return "regressed" if worse else "improved"
+
+
+def _campaign_rows(wh: Warehouse, campaign: str,
+                   metrics: Sequence[str]) -> Dict[str, dict]:
+    cols = ", ".join(f"r.{m}" for m in metrics)
+    rows = wh.execute(
+        f"SELECT r.pkey AS pkey, {cols} FROM results r "
+        f"JOIN campaign_points cp ON cp.digest = r.digest "
+        f"WHERE cp.campaign = ? ORDER BY r.pkey", (campaign,))
+    return {row["pkey"]: dict(row) for row in rows}
+
+
+def diff_campaigns(wh: Warehouse, campaign_a: str, campaign_b: str,
+                   metrics: Sequence[str] = DEFAULT_METRICS,
+                   tolerance: float = 0.01) -> CampaignDiff:
+    """Compare campaign B against baseline campaign A (see module doc)."""
+    from repro.warehouse.index import _RESULT_COLUMNS
+    from repro.warehouse.query import QueryError, _check_column
+    for m in metrics:
+        _check_column(m)
+        if m not in _RESULT_COLUMNS:
+            raise QueryError(f"{m!r} is not a diffable result column")
+    a_rows = _campaign_rows(wh, campaign_a, metrics)
+    b_rows = _campaign_rows(wh, campaign_b, metrics)
+    diff = CampaignDiff(campaign_a, campaign_b, metrics, tolerance)
+    diff.added = sorted(set(b_rows) - set(a_rows))
+    diff.removed = sorted(set(a_rows) - set(b_rows))
+    for pkey in sorted(set(a_rows) & set(b_rows)):
+        a, b = a_rows[pkey], b_rows[pkey]
+        point = PointDelta(pkey, {})
+        for metric in metrics:
+            delta = relative_delta(a.get(metric), b.get(metric))
+            point.deltas[metric] = delta
+            verdict = classify(metric, delta, tolerance)
+            if verdict == "regressed":
+                point.regressed.append(metric)
+            elif verdict == "improved":
+                point.improved.append(metric)
+        diff.common.append(point)
+    return diff
+
+
+def format_diff(diff: CampaignDiff, fmt: str = "text",
+                all_points: bool = False) -> str:
+    """Render a diff: summary plus the flagged (or all) point deltas."""
+    if fmt == "json":
+        import json
+        doc = diff.summary()
+        doc["points"] = [
+            {"pkey": d.pkey, "deltas": d.deltas,
+             "regressed": d.regressed, "improved": d.improved}
+            for d in (diff.common if all_points else diff.regressions)]
+        doc["added_points"] = diff.added
+        doc["removed_points"] = diff.removed
+        return json.dumps(doc, indent=2)
+    from repro.harness.report import format_table
+    lines = [f"diff {diff.campaign_b} vs {diff.campaign_a}: "
+             f"{len(diff.common)} common, {len(diff.added)} added, "
+             f"{len(diff.removed)} removed, "
+             f"{len(diff.regressions)} regressed "
+             f"(tolerance {diff.tolerance:.1%})"]
+    shown = diff.common if all_points else diff.regressions
+    if shown:
+        headers = ["point"] + [f"d{m}" for m in diff.metrics] + ["flags"]
+        rows = []
+        for d in shown:
+            cells: List[object] = [d.pkey]
+            for m in diff.metrics:
+                delta = d.deltas.get(m)
+                cells.append("-" if delta is None else f"{delta:+.2%}")
+            flags = [f"{m}!" for m in d.regressed] + \
+                [f"{m}+" for m in d.improved]
+            cells.append(" ".join(flags))
+            rows.append(cells)
+        lines.append(format_table(headers, rows))
+    for label, pkeys in (("added", diff.added), ("removed", diff.removed)):
+        for pkey in pkeys:
+            lines.append(f"  {label}: {pkey}")
+    return "\n".join(lines)

@@ -1,0 +1,525 @@
+"""The warehouse index: a compact sqlite view of every stored result.
+
+The content-addressed blob store (:mod:`repro.harness.cache`) answers
+exactly one question — "has this point been simulated?" — by digest.
+The :class:`Warehouse` answers every other question: it maintains a
+columnar sqlite index over all stored records (config fields from
+:func:`~repro.harness.cache.digest_config_dict`, workload mix, seed,
+cycles, STP/ANTT, EDP, occupancy and steering counters, timestamps) plus
+campaign membership tables, so sweeps can be queried, diffed, and
+regression-checked without touching a single pickle.
+
+The index is *derived state*: record blobs and their digests are the
+source of truth and are never modified.  It is kept in sync three ways:
+
+* **live ingest** — :meth:`~repro.harness.cache.ResultStore.put` calls
+  :meth:`Warehouse.ingest` for every result it writes (unless
+  ``REPRO_WAREHOUSE_INGEST`` is off);
+* **rebuild** — :meth:`Warehouse.rebuild` rescans the blobs (and their
+  ``.meta.json`` point sidecars) from scratch, for stores that predate
+  the warehouse or whose index was lost;
+* **invalidation** — :meth:`~repro.harness.cache.ResultStore.gc`
+  reports the exact digests it evicted and the warehouse deletes
+  exactly those rows.
+
+Concurrency: the index runs in WAL mode with a generous busy timeout,
+so the process-pool fan-out (many spawn workers writing one row each)
+and the service's scheduler/HTTP threads can all write safely.  Every
+write is wrapped in a transaction and is idempotent (``INSERT OR
+REPLACE`` keyed by digest), so replays and races converge on the same
+rows.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import envvars
+from repro.core.stats import SimResult
+
+#: bump when the index schema changes; a mismatched index is rebuilt
+#: from the blobs (the index is derived state, never a source of truth).
+INDEX_SCHEMA = 1
+
+#: everything a warehouse write/read can legitimately raise when the
+#: database is locked, corrupt, or unwritable.  Ingest-hook callers
+#: catch this tuple so analytics can never break a simulation.
+WAREHOUSE_ERRORS = (sqlite3.Error, OSError, ValueError, TypeError, KeyError)
+
+_RESULT_COLUMNS = (
+    "digest", "pkey", "config_label", "mix", "num_threads",
+    "length", "seed", "stop", "config_json",
+    "steering", "memory_model", "rob_entries", "iq_entries",
+    "shelf_entries",
+    "cycles", "retired", "ipc", "bpred_accuracy",
+    "stp", "antt", "energy_j", "time_s", "edp",
+    "occ_rob", "occ_iq", "occ_shelf", "occ_lq", "occ_sq",
+    "steered_shelf", "steered_iq", "shelf_fraction",
+    "squashes", "violations", "branch_mispredicts",
+    "iq_issues", "shelf_issues", "events_json",
+    "created_at", "ingested_at",
+)
+
+_SCHEMA = f"""
+CREATE TABLE IF NOT EXISTS results (
+    digest TEXT PRIMARY KEY,
+    pkey TEXT,
+    config_label TEXT,
+    mix TEXT,
+    num_threads INTEGER,
+    length INTEGER,
+    seed INTEGER,
+    stop TEXT,
+    config_json TEXT,
+    steering TEXT,
+    memory_model TEXT,
+    rob_entries INTEGER,
+    iq_entries INTEGER,
+    shelf_entries INTEGER,
+    cycles INTEGER,
+    retired INTEGER,
+    ipc REAL,
+    bpred_accuracy REAL,
+    stp REAL,
+    antt REAL,
+    energy_j REAL,
+    time_s REAL,
+    edp REAL,
+    occ_rob REAL,
+    occ_iq REAL,
+    occ_shelf REAL,
+    occ_lq REAL,
+    occ_sq REAL,
+    steered_shelf INTEGER,
+    steered_iq INTEGER,
+    shelf_fraction REAL,
+    squashes INTEGER,
+    violations INTEGER,
+    branch_mispredicts INTEGER,
+    iq_issues INTEGER,
+    shelf_issues INTEGER,
+    events_json TEXT,
+    created_at REAL,
+    ingested_at REAL
+);
+CREATE INDEX IF NOT EXISTS idx_results_pkey ON results (pkey);
+CREATE INDEX IF NOT EXISTS idx_results_label ON results (config_label);
+CREATE TABLE IF NOT EXISTS threads (
+    digest TEXT,
+    tid INTEGER,
+    benchmark TEXT,
+    retired INTEGER,
+    cpi REAL,
+    PRIMARY KEY (digest, tid)
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    name TEXT PRIMARY KEY,
+    total INTEGER,
+    created_at REAL,
+    updated_at REAL
+);
+CREATE TABLE IF NOT EXISTS campaign_points (
+    campaign TEXT,
+    digest TEXT,
+    point_key TEXT,
+    completed_at REAL,
+    PRIMARY KEY (campaign, digest)
+);
+PRAGMA user_version = {INDEX_SCHEMA};
+"""
+
+
+def point_key(config_label: str, mix: str, length: Optional[int],
+              seed: Optional[int], stop: Optional[str]) -> str:
+    """Stable point identity across simulator versions.
+
+    Digests include the simulator source salt, so they change whenever
+    timing code is edited — by design.  Diffing and baselining need an
+    identity that *survives* a re-simulation of the same point, which is
+    exactly this tuple.
+    """
+    return f"{config_label}|{mix}|{length}|{seed}|{stop}"
+
+
+def config_from_digest_dict(values: Dict[str, object]):
+    """Rebuild a :class:`~repro.core.config.CoreConfig` from its
+    :func:`~repro.harness.cache.digest_config_dict` view (the stripped
+    mode flags take their defaults — they never change results)."""
+    from repro.core.config import CoreConfig
+    from repro.memory.hierarchy import HierarchyConfig
+    fields = dict(values)
+    hier = fields.pop("hierarchy", None)
+    hierarchy = HierarchyConfig(**hier) if hier is not None \
+        else HierarchyConfig()
+    return CoreConfig(**fields, hierarchy=hierarchy)
+
+
+def db_path_for(store_directory) -> Optional[Path]:
+    """Resolve the index location for a store directory.
+
+    ``$REPRO_WAREHOUSE_DB`` overrides; an off-value disables the
+    warehouse entirely (returns ``None``); the default is
+    ``warehouse.sqlite3`` inside the store directory.
+    """
+    env = envvars.raw("REPRO_WAREHOUSE_DB")
+    if env is not None:
+        if env.strip().lower() in envvars.OFF_VALUES:
+            return None
+        return Path(env).expanduser()
+    if store_directory is None:
+        return None
+    return Path(store_directory) / "warehouse.sqlite3"
+
+
+def ingest_enabled() -> bool:
+    """Whether the live ingest hook on ``ResultStore.put`` is active."""
+    return envvars.enabled("REPRO_WAREHOUSE_INGEST")
+
+
+class Warehouse:
+    """One sqlite warehouse index (see the module docstring).
+
+    Thread-safe: a single connection guarded by an RLock; every method
+    is one transaction.  Cross-process safety comes from WAL mode plus
+    the busy timeout — each process opens its own :class:`Warehouse`.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.path), timeout=30.0,
+                                     check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA busy_timeout = 10000")
+        # WAL lets concurrent spawn workers append rows while readers
+        # query; on filesystems that refuse WAL, sqlite reports the mode
+        # it fell back to and everything still works (just serialized).
+        self._conn.execute("PRAGMA journal_mode = WAL")
+        self._conn.execute("PRAGMA synchronous = NORMAL")
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, digest: str, result: SimResult,
+               meta: Optional[dict] = None,
+               created_at: Optional[float] = None) -> None:
+        """Index one stored result.
+
+        *meta* is the point sidecar (``config``/``benchmarks``/
+        ``length``/``seed``/``stop``); without it — a blob written
+        before sidecars existed — only blob-derivable columns are
+        filled and the derived metrics stay NULL.
+        """
+        row = self._row_for(digest, result, meta, created_at)
+        thread_rows = [(digest, t.tid, t.benchmark, t.retired, t.cpi)
+                       for t in result.threads]
+        placeholders = ", ".join("?" for _ in _RESULT_COLUMNS)
+        with self._lock, self._conn:
+            self._conn.execute(
+                f"INSERT OR REPLACE INTO results "
+                f"({', '.join(_RESULT_COLUMNS)}) VALUES ({placeholders})",
+                [row[c] for c in _RESULT_COLUMNS])
+            self._conn.execute("DELETE FROM threads WHERE digest = ?",
+                               (digest,))
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO threads "
+                "(digest, tid, benchmark, retired, cpi) "
+                "VALUES (?, ?, ?, ?, ?)", thread_rows)
+
+    @staticmethod
+    def _row_for(digest: str, result: SimResult, meta: Optional[dict],
+                 created_at: Optional[float]) -> Dict[str, object]:
+        record = result.as_record()
+        events = record["events"]
+        occupancy = record["occupancy"]
+        steering = record["steering"]
+        mix = "+".join(t.benchmark for t in result.threads)
+        row: Dict[str, object] = dict.fromkeys(_RESULT_COLUMNS)
+        row.update({
+            "digest": digest,
+            "config_label": result.config_label,
+            "mix": mix,
+            "num_threads": len(result.threads),
+            "cycles": record["cycles"],
+            "retired": result.total_retired,
+            "ipc": record["ipc"],
+            "bpred_accuracy": record["bpred_accuracy"],
+            "occ_rob": occupancy.get("rob"),
+            "occ_iq": occupancy.get("iq"),
+            "occ_shelf": occupancy.get("shelf"),
+            "occ_lq": occupancy.get("lq"),
+            "occ_sq": occupancy.get("sq"),
+            "steered_shelf": steering.get("steered_shelf"),
+            "steered_iq": steering.get("steered_iq"),
+            "shelf_fraction": steering.get("shelf_fraction"),
+            "squashes": events["squashes"],
+            "violations": events["violations"],
+            "branch_mispredicts": events["branch_mispredicts"],
+            "iq_issues": events["iq_issues"],
+            "shelf_issues": events["shelf_issues"],
+            "events_json": json.dumps(events, sort_keys=True),
+            "created_at": created_at if created_at is not None
+            else time.time(),
+            "ingested_at": time.time(),
+        })
+        if meta is not None:
+            config_values = meta["config"]
+            row.update({
+                "length": meta["length"],
+                "seed": meta["seed"],
+                "stop": meta["stop"],
+                "config_json": json.dumps(config_values, sort_keys=True,
+                                          default=str),
+                "steering": config_values.get("steering"),
+                "memory_model": config_values.get("memory_model"),
+                "rob_entries": config_values.get("rob_entries"),
+                "iq_entries": config_values.get("iq_entries"),
+                "shelf_entries": config_values.get("shelf_entries"),
+            })
+            try:
+                config = config_from_digest_dict(config_values)
+            except (TypeError, ValueError):
+                config = None  # sidecar from a different config schema
+            if config is not None:
+                from repro.energy import edp as _edp
+                from repro.energy import energy_report
+                report = energy_report(config, result)
+                row["energy_j"] = report.energy_j
+                row["time_s"] = report.time_s
+                row["edp"] = _edp(report)
+        row["pkey"] = point_key(result.config_label, mix, row["length"],
+                                row["seed"], row["stop"])
+        return row
+
+    # -- bulk maintenance --------------------------------------------------
+
+    def rebuild(self, store) -> int:
+        """Rescan *store* from scratch; returns how many rows were
+        indexed.  Campaign membership tables are preserved (they refer
+        to digests, which do not change), stale membership rows for
+        evicted blobs are dropped."""
+        from repro.harness.cache import CORRUPTION_ERRORS
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM results")
+            self._conn.execute("DELETE FROM threads")
+        count = 0
+        for path, _, mtime in store.entries():
+            digest = path.stem
+            try:
+                with path.open("rb") as fh:
+                    result = pickle.load(fh)
+            except CORRUPTION_ERRORS:
+                continue
+            if not isinstance(result, SimResult):
+                continue
+            self.ingest(digest, result, meta=store.meta(digest),
+                        created_at=mtime)
+            count += 1
+        with self._lock, self._conn:
+            self._conn.execute(
+                "DELETE FROM campaign_points WHERE digest NOT IN "
+                "(SELECT digest FROM results)")
+        self.refresh_derived()
+        return count
+
+    def delete(self, digests: Iterable[str]) -> int:
+        """Drop the rows for exactly these digests (gc invalidation)."""
+        digests = list(digests)
+        if not digests:
+            return 0
+        removed = 0
+        with self._lock, self._conn:
+            for d in digests:
+                cur = self._conn.execute(
+                    "DELETE FROM results WHERE digest = ?", (d,))
+                removed += cur.rowcount
+                self._conn.execute(
+                    "DELETE FROM threads WHERE digest = ?", (d,))
+                self._conn.execute(
+                    "DELETE FROM campaign_points WHERE digest = ?", (d,))
+        return removed
+
+    def clear(self) -> None:
+        """Drop every indexed row (store ``clear`` invalidation)."""
+        with self._lock, self._conn:
+            for table in ("results", "threads", "campaigns",
+                          "campaign_points"):
+                self._conn.execute(f"DELETE FROM {table}")
+
+    # -- derived metrics ---------------------------------------------------
+
+    def refresh_derived(self,
+                        reference_label: Optional[str] = None) -> int:
+        """Fill STP/ANTT for rows where the single-thread reference runs
+        are present in the index.
+
+        STP and ANTT compare each SMT thread's CPI against the same
+        benchmark running *alone* on the baseline reference
+        configuration (the exact discipline of
+        :func:`repro.harness.runner.mix_stp`: reference seed is
+        ``seed + thread_slot``, stop mode ``all``).  Rows whose
+        references are missing keep NULL and are filled by a later
+        refresh once the references are simulated.  Returns how many
+        rows were updated.
+        """
+        if reference_label is None:
+            from repro.harness.configs import base64_config
+            reference_label = base64_config(1).label()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT digest, seed, length, stop FROM results "
+                "WHERE stp IS NULL AND seed IS NOT NULL "
+                "AND num_threads >= 1 ORDER BY digest").fetchall()
+            updated = 0
+            for row in rows:
+                threads = self._conn.execute(
+                    "SELECT tid, benchmark, cpi FROM threads "
+                    "WHERE digest = ? ORDER BY tid",
+                    (row["digest"],)).fetchall()
+                refs = []
+                for t in threads:
+                    ref = self._conn.execute(
+                        "SELECT t.cpi AS cpi FROM results r "
+                        "JOIN threads t ON t.digest = r.digest "
+                        "WHERE r.config_label = ? AND r.num_threads = 1 "
+                        "AND r.stop = 'all' AND t.benchmark = ? "
+                        "AND r.seed = ? AND r.length = ? "
+                        "ORDER BY r.digest LIMIT 1",
+                        (reference_label, t["benchmark"],
+                         row["seed"] + t["tid"], row["length"])).fetchone()
+                    if ref is None:
+                        break
+                    refs.append(ref["cpi"])
+                if len(refs) != len(threads) or not threads:
+                    continue
+                stp = sum(ref / t["cpi"] for t, ref in zip(threads, refs)
+                          if t["cpi"] > 0)
+                slowdowns = [t["cpi"] / ref
+                             for t, ref in zip(threads, refs) if ref > 0]
+                antt = sum(slowdowns) / len(slowdowns) if slowdowns \
+                    else None
+                with self._conn:
+                    self._conn.execute(
+                        "UPDATE results SET stp = ?, antt = ? "
+                        "WHERE digest = ?", (stp, antt, row["digest"]))
+                updated += 1
+        return updated
+
+    # -- campaigns ---------------------------------------------------------
+
+    def campaign_begin(self, name: str,
+                       total: Optional[int] = None) -> None:
+        """Declare (or refresh) a campaign; *total* is the full grid
+        size when the submitter knows it (the service often does not)."""
+        now = time.time()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO campaigns (name, total, created_at, "
+                "updated_at) VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET "
+                "total = COALESCE(excluded.total, campaigns.total), "
+                "updated_at = excluded.updated_at",
+                (name, total, now, now))
+
+    def campaign_mark(self, name: str, digest: str,
+                      key: Optional[str] = None) -> None:
+        """Record one completed point of a campaign (idempotent)."""
+        now = time.time()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO campaigns "
+                "(name, total, created_at, updated_at) "
+                "VALUES (?, NULL, ?, ?)", (name, now, now))
+            self._conn.execute(
+                "INSERT OR REPLACE INTO campaign_points "
+                "(campaign, digest, point_key, completed_at) "
+                "VALUES (?, ?, ?, ?)", (name, digest, key, now))
+            self._conn.execute(
+                "UPDATE campaigns SET updated_at = ? WHERE name = ?",
+                (now, name))
+
+    def campaign_digests(self, name: str) -> List[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT digest FROM campaign_points WHERE campaign = ? "
+                "ORDER BY digest", (name,)).fetchall()
+        return [r["digest"] for r in rows]
+
+    def campaign_status(self, name: Optional[str] = None) -> List[dict]:
+        """Live per-campaign analytics: completion counts plus rolling
+        metric summaries over the points indexed so far."""
+        where = "WHERE c.name = ?" if name is not None else ""
+        args: Tuple = (name,) if name is not None else ()
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT c.name AS name, c.total AS total, "
+                f"c.created_at AS created_at, c.updated_at AS updated_at, "
+                f"COUNT(p.digest) AS marked, "
+                f"COUNT(r.digest) AS indexed, "
+                f"AVG(r.ipc) AS mean_ipc, AVG(r.cycles) AS mean_cycles, "
+                f"AVG(r.stp) AS mean_stp, AVG(r.edp) AS mean_edp "
+                f"FROM campaigns c "
+                f"LEFT JOIN campaign_points p ON p.campaign = c.name "
+                f"LEFT JOIN results r ON r.digest = p.digest "
+                f"{where} GROUP BY c.name ORDER BY c.name",
+                args).fetchall()
+        out = []
+        for r in rows:
+            doc = dict(r)
+            total = doc.get("total")
+            doc["progress"] = (doc["marked"] / total) if total else None
+            out.append(doc)
+        return out
+
+    # -- introspection -----------------------------------------------------
+
+    def row_count(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def size_bytes(self) -> int:
+        """On-disk footprint of the index (main db + WAL)."""
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            candidate = Path(str(self.path) + suffix)
+            try:
+                total += candidate.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def execute(self, sql: str, args: Sequence = ()) -> List[sqlite3.Row]:
+        """Run one read-only query (the query layer's escape hatch)."""
+        with self._lock:
+            return self._conn.execute(sql, tuple(args)).fetchall()
+
+
+def open_warehouse(store=None) -> Optional[Warehouse]:
+    """The warehouse for *store* (default: the process-wide store), or
+    ``None`` when the store or the warehouse is disabled."""
+    if store is None:
+        from repro.harness.cache import get_store
+        store = get_store()
+    if store is None:
+        return None
+    path = db_path_for(store.directory)
+    return Warehouse(path) if path is not None else None

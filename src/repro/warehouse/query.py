@@ -1,0 +1,280 @@
+"""Filter / project / sort / aggregate queries over the warehouse.
+
+The query surface is deliberately column-oriented and closed: callers
+name columns from :data:`QUERYABLE_COLUMNS` and comparison operators
+from :data:`_OPS`; everything compiles to parameterized SQL, so no user
+string ever reaches the database as code.  Aggregation (``--group-by``
++ ``--agg``) runs in Python over the filtered rows — warehouse scales
+are thousands of rows, and Python keeps geomean and friends portable
+across sqlite builds.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.warehouse.index import Warehouse, _RESULT_COLUMNS
+
+#: columns exposed to query/diff/baseline, with one-line docs.
+QUERYABLE_COLUMNS: Dict[str, str] = {
+    "digest": "content digest of the point (store key)",
+    "pkey": "point identity: config_label|mix|length|seed|stop",
+    "config_label": "configuration label (e.g. Base64+Shelf64(...))",
+    "mix": "'+'-joined benchmark mix",
+    "num_threads": "SMT thread count of the run",
+    "length": "instructions per thread (NULL for pre-sidecar blobs)",
+    "seed": "trace seed",
+    "stop": "stop mode: first | all",
+    "steering": "steering policy config field",
+    "memory_model": "memory consistency model config field",
+    "rob_entries": "ROB entries config field",
+    "iq_entries": "IQ entries config field",
+    "shelf_entries": "shelf entries config field",
+    "cycles": "simulated cycles",
+    "retired": "total retired instructions",
+    "ipc": "aggregate instructions per cycle",
+    "bpred_accuracy": "branch predictor accuracy",
+    "stp": "system throughput vs single-thread baseline (derived)",
+    "antt": "average normalized turnaround time (derived)",
+    "energy_j": "modelled energy (J)",
+    "time_s": "modelled runtime (s)",
+    "edp": "energy-delay product (J*s)",
+    "occ_rob": "average ROB occupancy",
+    "occ_iq": "average IQ occupancy",
+    "occ_shelf": "average shelf occupancy",
+    "occ_lq": "average LQ occupancy",
+    "occ_sq": "average SQ occupancy",
+    "steered_shelf": "instructions steered to the shelf",
+    "steered_iq": "instructions steered to the IQ",
+    "shelf_fraction": "fraction of instructions steered to the shelf",
+    "squashes": "pipeline squashes",
+    "violations": "memory-order violations",
+    "branch_mispredicts": "branch mispredicts",
+    "iq_issues": "IQ issue count",
+    "shelf_issues": "shelf issue count",
+    "created_at": "blob write time (unix seconds)",
+    "ingested_at": "index row write time (unix seconds)",
+    "campaign": "campaign tag (join over campaign membership)",
+}
+
+#: default projection for `repro query` without --select.
+DEFAULT_SELECT = ("config_label", "mix", "seed", "length", "cycles",
+                  "ipc", "stp", "edp")
+
+_OPS = ("<=", ">=", "!=", "<", ">", "=", "~")
+
+#: aggregate functions for --agg FN:COL (count needs no column).
+AGG_FUNCTIONS = ("count", "mean", "sum", "min", "max", "geomean")
+
+_NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?([eE][+-]?\d+)?$")
+
+
+class QueryError(ValueError):
+    """A malformed filter/column/aggregate (CLI exit code 2)."""
+
+
+def _check_column(name: str) -> str:
+    if name not in QUERYABLE_COLUMNS:
+        raise QueryError(
+            f"unknown column {name!r} (see `repro query --list-columns`)")
+    return name
+
+
+def parse_filter(text: str) -> Tuple[str, str, object]:
+    """``"cycles>1000"`` -> ``("cycles", ">", 1000.0)``.
+
+    ``~`` is substring match (SQL LIKE with wrapping wildcards); every
+    other operator compares numerically when the value parses as a
+    number, as text otherwise.
+    """
+    for op in _OPS:
+        column, found, value = text.partition(op)
+        if found:
+            column = _check_column(column.strip())
+            value = value.strip()
+            if op != "~" and _NUMBER_RE.match(value):
+                return column, op, float(value)
+            return column, op, value
+    raise QueryError(f"bad filter {text!r} (expected COLUMN OP VALUE "
+                     f"with OP one of {', '.join(_OPS)})")
+
+
+def _filter_sql(filters: Sequence[Tuple[str, str, object]]
+                ) -> Tuple[str, List[object]]:
+    clauses, args = [], []
+    for column, op, value in filters:
+        if op == "~":
+            clauses.append(f"{column} LIKE ?")
+            args.append(f"%{value}%")
+        else:
+            sql_op = {"=": "=", "!=": "<>"}.get(op, op)
+            clauses.append(f"{column} {sql_op} ?")
+            args.append(value)
+    return (" AND ".join(clauses), args) if clauses else ("", [])
+
+
+def select_rows(wh: Warehouse,
+                where: Sequence[str] = (),
+                select: Optional[Sequence[str]] = None,
+                sort: Optional[str] = None,
+                limit: Optional[int] = None,
+                campaign: Optional[str] = None
+                ) -> Tuple[List[str], List[List[object]]]:
+    """Run one filter/project/sort query; returns (headers, rows)."""
+    columns = [_check_column(c) for c in (select or DEFAULT_SELECT)]
+    filters = [parse_filter(f) for f in where]
+    # `campaign` is a virtual column backed by the membership table.
+    campaign_filters = [v for c, _, v in filters if c == "campaign"]
+    filters = [f for f in filters if f[0] != "campaign"]
+    if campaign is not None:
+        campaign_filters.append(campaign)
+    base_cols = [c for c in columns if c != "campaign"]
+    select_sql = ", ".join(f"r.{c}" for c in base_cols) or "r.digest"
+    joins, args = "", []
+    if "campaign" in columns or campaign_filters:
+        joins = ("JOIN campaign_points cp ON cp.digest = r.digest")
+        select_sql += ", cp.campaign AS campaign"
+    where_sql, where_args = _filter_sql(filters)
+    clauses = [w for w in (where_sql,) if w]
+    for tag in campaign_filters:
+        clauses.append("cp.campaign = ?")
+        where_args.append(tag)
+    sql = f"SELECT {select_sql} FROM results r {joins}"
+    if clauses:
+        sql += " WHERE " + " AND ".join(clauses)
+    order = "r.pkey, r.digest"
+    descending = False
+    if sort:
+        sort_col = sort
+        if sort.endswith(":desc"):
+            sort_col, descending = sort[:-len(":desc")], True
+        elif sort.endswith(":asc"):
+            sort_col = sort[:-len(":asc")]
+        _check_column(sort_col)
+        prefix = "cp." if sort_col == "campaign" else "r."
+        order = (f"{prefix}{sort_col} {'DESC' if descending else 'ASC'}, "
+                 f"r.digest")
+    sql += f" ORDER BY {order}"
+    if limit is not None:
+        sql += " LIMIT ?"
+        args.append(int(limit))
+    rows = wh.execute(sql, where_args + args)
+    out = [[row[c] for c in columns] for row in rows]
+    return list(columns), out
+
+
+def parse_agg(text: str) -> Tuple[str, Optional[str]]:
+    """``"mean:stp"`` -> ``("mean", "stp")``; bare ``"count"`` allowed."""
+    fn, _, column = text.partition(":")
+    if fn not in AGG_FUNCTIONS:
+        raise QueryError(f"unknown aggregate {fn!r} "
+                         f"(choose from {', '.join(AGG_FUNCTIONS)})")
+    if fn == "count":
+        return fn, None
+    if not column:
+        raise QueryError(f"aggregate {fn!r} needs a column (e.g. "
+                         f"{fn}:stp)")
+    return fn, _check_column(column)
+
+
+def _aggregate(fn: str, values: List[object]) -> Optional[float]:
+    nums = [v for v in values if isinstance(v, (int, float))]
+    if fn == "count":
+        return len(values)
+    if not nums:
+        return None
+    if fn == "mean":
+        return sum(nums) / len(nums)
+    if fn == "sum":
+        return sum(nums)
+    if fn == "min":
+        return min(nums)
+    if fn == "max":
+        return max(nums)
+    if fn == "geomean":
+        positive = [v for v in nums if v > 0]
+        if not positive:
+            return None
+        return math.exp(sum(math.log(v) for v in positive)
+                        / len(positive))
+    raise QueryError(f"unknown aggregate {fn!r}")
+
+
+def aggregate_rows(wh: Warehouse,
+                   group_by: Sequence[str],
+                   aggs: Sequence[str],
+                   where: Sequence[str] = (),
+                   sort: Optional[str] = None,
+                   limit: Optional[int] = None,
+                   campaign: Optional[str] = None
+                   ) -> Tuple[List[str], List[List[object]]]:
+    """Group the filtered rows and fold each group through *aggs*."""
+    group_by = [_check_column(c) for c in group_by]
+    parsed = [parse_agg(a) for a in aggs] or [("count", None)]
+    needed = list(dict.fromkeys(
+        group_by + [c for _, c in parsed if c is not None]))
+    headers, rows = select_rows(wh, where=where, select=needed,
+                                campaign=campaign)
+    index = {h: i for i, h in enumerate(headers)}
+    groups: Dict[Tuple, List[List[object]]] = {}
+    for row in rows:
+        key = tuple(row[index[c]] for c in group_by)
+        groups.setdefault(key, []).append(row)
+    out_headers = group_by + [f"{fn}:{c}" if c else fn
+                              for fn, c in parsed]
+    out_rows = []
+    for key in sorted(groups, key=lambda k: tuple(str(v) for v in k)):
+        members = groups[key]
+        row: List[object] = list(key)
+        for fn, column in parsed:
+            values = [m[index[column]] for m in members] \
+                if column is not None else members
+            row.append(_aggregate(fn, values))
+        out_rows.append(row)
+    # sort/limit over aggregate output happens here, not in SQL.
+    if sort:
+        descending = sort.endswith(":desc")
+        sort_col = sort[:-5] if descending else \
+            (sort[:-4] if sort.endswith(":asc") else sort)
+        if sort_col not in out_headers:
+            raise QueryError(f"sort column {sort_col!r} is not in the "
+                             f"aggregate output ({', '.join(out_headers)})")
+        pos = out_headers.index(sort_col)
+        out_rows.sort(key=lambda r: (r[pos] is None, r[pos]),
+                      reverse=descending)
+    if limit is not None:
+        out_rows = out_rows[:int(limit)]
+    return out_headers, out_rows
+
+
+# -- output formatting -------------------------------------------------------
+
+def format_rows(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                fmt: str = "text") -> str:
+    """Render query output as aligned text, JSON lines, or CSV."""
+    if fmt == "json":
+        docs = [dict(zip(headers, row)) for row in rows]
+        return json.dumps(docs, indent=2, sort_keys=False)
+    if fmt == "csv":
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(["" if v is None else v for v in row])
+        return buf.getvalue().rstrip("\n")
+    if fmt == "text":
+        from repro.harness.report import format_table
+        # pre-format floats at 5 significant digits: warehouse metrics
+        # span many decades (EDP is ~1e-7 J*s at simulated lengths) and
+        # fixed-point rendering would collapse the small ones to 0.000.
+        shown = [["-" if v is None else
+                  (f"{v:.5g}" if isinstance(v, float) else v)
+                  for v in row] for row in rows]
+        table = format_table(list(headers), shown)
+        return f"{table}\n({len(rows)} row{'s' if len(rows) != 1 else ''})"
+    raise QueryError(f"unknown output format {fmt!r}")

@@ -335,6 +335,7 @@ class TestEnvRegistry:
     def test_known_vars_registered(self):
         expected = {"REPRO_JOBS", "REPRO_SCALE", "REPRO_CACHE_DIR",
                     "REPRO_SANITIZE", "REPRO_FASTFORWARD", "REPRO_LANES",
+                    "REPRO_WAREHOUSE_DB", "REPRO_WAREHOUSE_INGEST",
                     "REPRO_SERVICE_CRASH_ONCE"}
         assert expected <= set(names())
 

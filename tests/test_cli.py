@@ -43,6 +43,13 @@ class TestParser:
         ["serve", "--port", "notaport"],
         ["submit", "ilp.int4", "--stop", "eventually"],
         ["submit", "ilp.int4", "--priority", "high"],
+        ["query", "--format", "xml"],
+        ["query", "--limit", "many"],
+        ["diff"],                        # two campaign tags required
+        ["diff", "only-one"],
+        ["baseline"],                    # record/check required
+        ["baseline", "check", "--tolerance", "loose"],
+        ["warehouse"],                   # rebuild/status required
     ])
     def test_bad_flags_exit_2(self, argv, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -56,7 +63,8 @@ class TestParser:
             if isinstance(a, type(parser._subparsers._group_actions[0])))
         commands = set(subparsers.choices)
         assert {"run", "experiments", "benchmarks", "litmus", "lint",
-                "trace", "cache", "serve", "submit"} <= commands
+                "trace", "cache", "serve", "submit", "query", "diff",
+                "baseline", "warehouse"} <= commands
 
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
@@ -154,6 +162,52 @@ class TestDispatch:
             assert "disabled" in capsys.readouterr().err
         finally:
             reset_store()
+
+    def test_cache_stats_reports_index(self, tmp_store, capsys):
+        assert main(["cache", "stats"]) == 0
+        assert "index:" in capsys.readouterr().out
+
+    def test_query_list_columns(self, capsys):
+        assert main(["query", "--list-columns"]) == 0
+        out = capsys.readouterr().out
+        assert "stp" in out and "campaign" in out
+
+    def test_query_empty_store(self, tmp_store, capsys):
+        assert main(["query"]) == 0
+        assert "(0 rows)" in capsys.readouterr().out
+
+    def test_query_bad_filter_exits_2(self, tmp_store, capsys):
+        assert main(["query", "--where", "nonesuch=1"]) == 2
+        assert "unknown column" in capsys.readouterr().err
+
+    def test_query_disabled_warehouse_exits_1(self, tmp_store,
+                                              monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_WAREHOUSE_DB", "off")
+        assert main(["query"]) == 1
+        assert "disabled" in capsys.readouterr().err
+
+    def test_diff_empty_campaigns_clean(self, tmp_store, capsys):
+        assert main(["diff", "a", "b"]) == 0
+        assert "0 common" in capsys.readouterr().out
+
+    def test_baseline_check_missing_file_exits_2(self, tmp_store,
+                                                 tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["baseline", "check", "--file", str(missing)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_baseline_record_empty(self, tmp_store, tmp_path, capsys):
+        path = tmp_path / "b.json"
+        assert main(["baseline", "record", "--file", str(path)]) == 0
+        assert path.exists()
+        assert "recorded 0 point(s)" in capsys.readouterr().out
+
+    def test_warehouse_rebuild_and_status(self, tmp_store, capsys):
+        assert main(["warehouse", "rebuild"]) == 0
+        assert "reindexed 0 result(s)" in capsys.readouterr().out
+        assert main(["warehouse", "status"]) == 0
+        out = capsys.readouterr().out
+        assert "rows:" in out and "index:" in out
 
     def test_submit_unreachable_service_exits_1(self, capsys):
         # nothing listens on this port; client fails fast, CLI exits 1

@@ -377,3 +377,51 @@ class TestServer:
         # the service-side checkpoint file reloads cleanly
         reloaded = standard_campaign(tmp_path / "svc.jsonl", mixes, 300)
         assert reloaded.pending == []
+
+
+# ---------------------------------------------------------------------------
+# campaign analytics (warehouse integration)
+# ---------------------------------------------------------------------------
+
+class TestCampaignAnalytics:
+    def test_campaign_tag_tracked_end_to_end(self, fresh_store):
+        with _Service(workers=1) as client:
+            jid = client.submit_point(shelf_config(1), ("ilp.int4",), 300,
+                                      campaign="svc-sweep")
+            client.wait(jid, timeout_s=120)
+            status = client.status(jid)
+            assert status["campaign"] == "svc-sweep"
+            campaigns = client.campaigns()
+            assert [c["name"] for c in campaigns] == ["svc-sweep"]
+            doc = campaigns[0]
+            assert doc["service"] == {"submitted": 1, "completed": 1,
+                                      "failed": 0}
+            assert doc["marked"] == 1 and doc["indexed"] == 1
+            assert doc["mean_ipc"] > 0
+            assert client.metrics()["campaigns_tracked"] == 1
+        # the marks are durable: the warehouse remembers after shutdown
+        wh = fresh_store.warehouse()
+        assert len(wh.campaign_digests("svc-sweep")) == 1
+
+    def test_cache_hit_still_marked(self, fresh_store):
+        spec = _spec(length=300)
+        simulate_point(*spec.point())  # pre-populate the store
+        with _Service(workers=1) as client:
+            jid = client.submit(spec.to_wire(), campaign="warm")["job_id"]
+            client.wait(jid, timeout_s=60)
+        wh = fresh_store.warehouse()
+        assert wh.campaign_digests("warm") == [spec.digest()]
+
+    def test_campaign_never_affects_identity(self, fresh_store):
+        queue = JobQueue(store=fresh_store)
+        spec = _spec(length=300)
+        a = queue.submit(spec, campaign="one")
+        b = queue.submit(spec, campaign="two")
+        assert a.digest == b.digest
+        assert b.dedup_of == a.job_id  # still dedups across campaigns
+
+    def test_untagged_jobs_report_no_campaigns(self, fresh_store):
+        with _Service(workers=1) as client:
+            jid = client.submit_point(shelf_config(1), ("ilp.int4",), 300)
+            client.wait(jid, timeout_s=120)
+            assert client.campaigns() == []

@@ -1,0 +1,110 @@
+"""Compare a fresh BENCH_gang.json against the committed baseline.
+
+The committed JSON documents the gang engine's measured batch
+throughput (>= 1.5x over cold per-point runs on the reference
+machine); this script fails CI when a fresh measurement regresses the
+gang speedup ratios by more than the tolerance.  Like
+``check_simspeed_regression.py`` it compares *ratios*, not absolute
+times, and the tolerances are generous because the cold ratio mixes
+trace-generation and simulation time, which drift differently under
+shared-runner noise.
+
+Two gates:
+
+* ``speedup_cold`` — gang vs per-point runs that regenerate traces
+  (the fleet's real cost model); hard-fails below
+  ``baseline * (1 - tolerance)``.
+* ``speedup_warm`` — gang vs warm per-point runs in one process; the
+  gang must never lose badly to solo (absolute floor, see
+  ``MIN_WARM``), proving the interleaved loop itself carries no real
+  overhead.
+
+Usage:
+    python scripts/check_gang_regression.py \
+        --baseline /tmp/gang-baseline.json [--fresh BENCH_gang.json] \
+        [--tolerance 0.25]
+
+Exit status: 0 clean, 1 on a hard regression, 2 on usage/schema errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: absolute floor for speedup_warm: the gang may be a little slower
+#: than warm solo under noise, never structurally slower.
+MIN_WARM = 0.8
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed BENCH_gang.json to compare "
+                             "against (e.g. a git-show copy)")
+    parser.add_argument("--fresh", type=Path,
+                        default=REPO_ROOT / "BENCH_gang.json",
+                        help="freshly generated JSON (default: repo root)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup_cold drop "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    if base.get("scale") != fresh.get("scale"):
+        print(f"error: scale mismatch — baseline ran at "
+              f"{base.get('scale')!r}, fresh at {fresh.get('scale')!r}; "
+              f"ratios are only comparable at the same scale",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    want = base.get("speedup_cold")
+    got = fresh.get("speedup_cold")
+    if want is None or got is None:
+        print("error: speedup_cold missing from baseline or fresh run",
+              file=sys.stderr)
+        return 2
+    floor = want * (1.0 - args.tolerance)
+    line = (f"speedup_cold: baseline {want:.2f}x, fresh {got:.2f}x "
+            f"(floor {floor:.2f}x)")
+    if got < floor:
+        failures.append("REGRESSION " + line)
+    else:
+        print("ok " + line)
+
+    warm = fresh.get("speedup_warm")
+    if warm is None:
+        print("error: speedup_warm missing from fresh run",
+              file=sys.stderr)
+        return 2
+    line = f"speedup_warm: fresh {warm:.2f}x (floor {MIN_WARM:.2f}x)"
+    if warm < MIN_WARM:
+        failures.append("REGRESSION " + line)
+    else:
+        print("ok " + line)
+
+    for f in failures:
+        print("error: " + f, file=sys.stderr)
+    if failures:
+        return 1
+    print("gang ratios within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

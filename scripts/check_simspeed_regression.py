@@ -1,13 +1,17 @@
 """Compare a fresh BENCH_simspeed.json against the committed baseline.
 
 The committed JSON documents the speedups the fast loops are expected
-to deliver; this script fails CI when a fresh measurement regresses the
-compute-bound lane speedup by more than the tolerance.  It compares
-*speedup ratios*, not absolute times — ratios are the quantity that
-transfers across machines — and only the `ilp.int8` lane ratio is a
-hard gate (it is the number the lane engine exists for); every other
-(workload, mode) pair that drifts below tolerance is reported as a
-warning so noisy CI hosts don't flap the build.
+to deliver; this script fails CI when a fresh measurement regresses
+them by more than the per-workload tolerance.  It compares *speedup
+ratios*, not absolute times — ratios are the quantity that transfers
+across machines.  All four workloads hard-gate on their lane ratio
+(the lane engine is the loop campaigns actually run), `pchase.mem`
+additionally on its object ratio (the fast-forward win), each with its
+own threshold in :data:`HARD_GATES` — the compute-bound `ilp.int8`
+case is tightest, the SMT cases looser because squash/steering timing
+is noisier on shared hosts.  Every ungated (workload, mode) pair that
+drifts below the default tolerance is reported as a warning so noisy
+CI hosts don't flap the build.
 
 Usage:
     python scripts/check_simspeed_regression.py \
@@ -26,8 +30,16 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-#: (workload, ratio key) pairs that hard-fail the build on regression.
-HARD_GATES = (("ilp.int8", "speedup_lanes"),)
+#: (workload, ratio key) -> allowed fractional ratio drop before the
+#: build hard-fails.  Pairs not listed here fall back to --tolerance
+#: and only warn.
+HARD_GATES = {
+    ("ilp.int8", "speedup_lanes"): 0.10,
+    ("pchase.mem", "speedup_lanes"): 0.15,
+    ("pchase.mem", "speedup_object"): 0.15,
+    ("branchy.mix", "speedup_lanes"): 0.15,
+    ("smt4.dense", "speedup_lanes"): 0.15,
+}
 
 
 def load(path: Path) -> dict:
@@ -62,7 +74,6 @@ def main(argv=None) -> int:
 
     failures = []
     warnings = []
-    hard = set(HARD_GATES)
     for workload, entry in sorted(base.get("workloads", {}).items()):
         fresh_entry = fresh.get("workloads", {}).get(workload)
         if fresh_entry is None:
@@ -73,11 +84,13 @@ def main(argv=None) -> int:
             got = fresh_entry.get(key)
             if want is None or got is None:
                 continue
-            floor = want * (1.0 - args.tolerance)
+            gated = (workload, key) in HARD_GATES
+            tolerance = HARD_GATES.get((workload, key), args.tolerance)
+            floor = want * (1.0 - tolerance)
             line = (f"{workload} {key}: baseline {want:.2f}x, "
                     f"fresh {got:.2f}x (floor {floor:.2f}x)")
             if got < floor:
-                if (workload, key) in hard:
+                if gated:
                     failures.append("REGRESSION " + line)
                 else:
                     warnings.append("drift " + line)
@@ -90,8 +103,8 @@ def main(argv=None) -> int:
         print("error: " + f, file=sys.stderr)
     if failures:
         return 1
-    print(f"simspeed ratios within {args.tolerance:.0%} of baseline "
-          f"({len(warnings)} warning(s))")
+    print(f"simspeed ratios within tolerance of baseline "
+          f"({len(HARD_GATES)} hard gate(s), {len(warnings)} warning(s))")
     return 0
 
 

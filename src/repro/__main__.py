@@ -378,16 +378,27 @@ def _cmd_profile(args) -> int:
     cfg = _build_config(args)
     traces = [generate(b, args.length, seed=args.seed + i)
               for i, b in enumerate(benches)]
-    mode_kwargs = {
-        "lanes": {"lanes": True},
-        "object": {"lanes": False, "fastforward": True},
-        "reference": {"lanes": False, "fastforward": False},
-    }[args.mode]
-    pipe = Pipeline(cfg, traces, **mode_kwargs)
+    stop = "all" if args.threads == 1 else "first"
     profiler = cProfile.Profile()
-    profiler.enable()
-    res = pipe.run(stop="all" if args.threads == 1 else "first")
-    profiler.disable()
+    if args.mode == "gang":
+        # N identical members over shared traces: profiles the gang
+        # driver, the shared-decode fetch path, and slice re-entry.
+        from repro.core.gang import GangEngine
+        members = [Pipeline(cfg, traces) for _ in range(args.gang_size)]
+        engine = GangEngine(members, stop=stop)
+        profiler.enable()
+        res = engine.run()[0]
+        profiler.disable()
+    else:
+        mode_kwargs = {
+            "lanes": {"lanes": True},
+            "object": {"lanes": False, "fastforward": True},
+            "reference": {"lanes": False, "fastforward": False},
+        }[args.mode]
+        pipe = Pipeline(cfg, traces, **mode_kwargs)
+        profiler.enable()
+        res = pipe.run(stop=stop)
+        profiler.disable()
     print(res.summary())
     print(f"\nmode: {args.mode}, sorted by {args.sort}, "
           f"top {args.limit}:\n")
@@ -506,9 +517,14 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--optimistic", action="store_true")
     prof.add_argument("--memory-model", choices=["relaxed", "tso"],
                       default="relaxed")
-    prof.add_argument("--mode", choices=["lanes", "object", "reference"],
+    prof.add_argument("--mode",
+                      choices=["lanes", "object", "reference", "gang"],
                       default="lanes",
-                      help="which cycle loop to profile (default: lanes)")
+                      help="which cycle loop to profile (default: lanes); "
+                           "gang interleaves --gang-size identical members")
+    prof.add_argument("--gang-size", type=int, default=8, metavar="K",
+                      help="members in the profiled gang "
+                           "(--mode gang only; default: 8)")
     prof.add_argument("--sort", default="cumulative",
                       choices=["cumulative", "tottime", "ncalls",
                                "pcalls", "filename", "line", "name",

@@ -1,0 +1,140 @@
+"""Gang simulation: lockstep multi-point execution over shared traces.
+
+A campaign grid runs dozens of configs over the same trace mix, and
+every one of those points pays the same per-run costs: decoding the
+trace in fetch and re-hoisting the lane engine's run-long locals.  A
+:class:`GangEngine` advances K *compatible* points — same
+``(benchmark, length, seed)`` traces, any mix of configs — through one
+driver loop:
+
+* **Isolation.**  Every member is an ordinary :class:`Pipeline` with
+  its own lane-engine slot set, caches, predictor, and RNG-free state;
+  nothing architectural is shared, so each member's result is
+  bit-identical to the same point run solo (the randomized oracle in
+  ``tests/test_gang_equivalence.py`` enforces this).
+* **Shared decode.**  Members whose threads run the *same trace
+  object* share one read-only :func:`~repro.core.lanes.decode_trace`
+  result — per-position opcodes, latencies, and next-branch indices —
+  which the lane engine's bulk fetch path consumes by slice
+  assignment.  Sharing is keyed on object identity; the harness's
+  per-process trace memo (:mod:`repro.harness.executor`) is what makes
+  distinct points hand the gang identical trace objects.
+* **Interleaving.**  Members advance in bounded slices
+  (``Pipeline.advance(until=cycle + stride)``), round-robin, so the
+  interpreter stays inside one hot loop per slice instead of paying
+  ``Pipeline.run``'s setup once per point.  Finished members retire
+  from the rotation early without stalling the rest.
+
+Errors propagate exactly as they would solo: a member raising
+:class:`~repro.core.pipeline.DeadlockError` aborts the gang (the
+harness's ``simulate_gang`` falls back to solo runs to attribute the
+failure to the right point).
+
+Mode control: ``REPRO_GANG`` (default on) and ``REPRO_GANG_SIZE``
+(default 16) are execution-mode flags like ``REPRO_LANES`` — they
+never influence results and never enter result digests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro import envvars
+from repro.core.lanes import decode_trace
+from repro.core.pipeline import Pipeline
+from repro.core.stats import SimResult
+
+#: cycles each member advances per rotation slot.  Large enough that
+#: the per-slice re-hoist cost is amortized over thousands of cycles,
+#: small enough that K members' working sets interleave in cache.
+DEFAULT_STRIDE = 4096
+
+
+def gang_enabled() -> bool:
+    """Is gang formation on (``REPRO_GANG``, default on)?"""
+    return envvars.enabled("REPRO_GANG")
+
+
+def gang_size() -> int:
+    """Maximum members per gang (``REPRO_GANG_SIZE``, default 16,
+    floored at 1 — a size-1 gang is just a solo run)."""
+    value = (envvars.raw("REPRO_GANG_SIZE") or "").strip()
+    if not value:
+        return 16
+    try:
+        size = int(value)
+    except ValueError:
+        raise ValueError(
+            f"bad REPRO_GANG_SIZE value {value!r}") from None
+    return max(1, size)
+
+
+class GangEngine:
+    """Drive K independent pipelines to completion in one loop.
+
+    Args:
+        members: the pipelines to advance.  Any configs; results are
+            per-member and bit-identical to solo runs.
+        stop: the stop condition shared by every member (gang grouping
+            upstream only gangs points with identical ``stop``).
+        stride: cycles per member per rotation (see
+            :data:`DEFAULT_STRIDE`).
+    """
+
+    def __init__(self, members: Sequence[Pipeline], stop: str = "first",
+                 stride: int = DEFAULT_STRIDE):
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.members: List[Pipeline] = list(members)
+        self.stop = stop
+        self.stride = stride
+
+    def _install_decodes(self) -> List[object]:
+        """Share one decoded-trace array set per distinct trace object
+        across every lane-engine member; returns the engines to clean
+        up.  Object-path members (``lanes=False``) simply run without
+        the fetch fast path — still bit-identical."""
+        decoded: dict = {}
+        installed: List[object] = []
+        for pipe in self.members:
+            engine = pipe._lane_engine
+            if engine is None or engine.decode is not None:
+                continue
+            per_tid = []
+            for thread in pipe.threads:
+                key = id(thread.trace)
+                dec = decoded.get(key)
+                if dec is None:
+                    dec = decoded[key] = decode_trace(thread.trace)
+                per_tid.append(dec)
+            engine.decode = per_tid
+            installed.append(engine)
+        return installed
+
+    def run(self, max_cycles: Optional[int] = None,
+            warmup_instructions: int = 0) -> List[SimResult]:
+        """Advance every member to its stop condition; results in
+        member order."""
+        members = self.members
+        installed = self._install_decodes()
+        try:
+            for pipe in members:
+                pipe.start_run(self.stop, max_cycles,
+                               warmup_instructions)
+            results: List[Optional[SimResult]] = [None] * len(members)
+            active = list(range(len(members)))
+            stride = self.stride
+            while active:
+                still_running = []
+                for i in active:
+                    pipe = members[i]
+                    if pipe.advance(until=pipe.cycle + stride):
+                        results[i] = pipe.finish_run()
+                    else:
+                        still_running.append(i)
+                active = still_running
+            return results  # type: ignore[return-value]
+        finally:
+            # Leave members reusable as ordinary solo pipelines.
+            for engine in installed:
+                engine.decode = None

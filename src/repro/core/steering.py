@@ -363,6 +363,10 @@ class LanePracticalSteering(PracticalSteering):
                 return
 
     def tick(self, cycle: int) -> None:
+        # Hot: called once per live cycle by the lane engine.  The loops
+        # below are iteration-shape rewrites of the reference arithmetic
+        # (enumerate instead of index reads, zero-skip guards) — every
+        # state write is identical in value and order.
         for tid in range(self.config.num_threads):
             cols = self._cols[tid]
             plt = self._plt[tid]
@@ -374,23 +378,22 @@ class LanePracticalSteering(PracticalSteering):
                 if dyn.completed or dyn.squashed:
                     cols[i] = None
                     keep = ~(1 << i) & 0xFF
-                    for r in range(NUM_ARCH_REGS):
-                        plt[r] &= keep
+                    for r, row in enumerate(plt):
+                        if row:
+                            plt[r] = row & keep
                 elif cycle >= predicted:
                     late_mask |= 1 << i
             self._late_mask[tid] = late_mask
             rct = self._rct[tid]
             if late_mask:
-                for r in range(NUM_ARCH_REGS):
-                    if not plt[r] & late_mask:
-                        v = rct[r]
-                        if v > 0:
-                            rct[r] = v - 1
-            else:
-                for r in range(NUM_ARCH_REGS):
-                    v = rct[r]
-                    if v > 0:
+                for r, v in enumerate(rct):
+                    if v > 0 and not plt[r] & late_mask:
                         rct[r] = v - 1
+            else:
+                if any(rct):
+                    for r, v in enumerate(rct):
+                        if v:
+                            rct[r] = v - 1
                 if self._earliest_issue[tid]:
                     self._earliest_issue[tid] -= 1
                 if self._earliest_wb[tid]:

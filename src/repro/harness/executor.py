@@ -24,11 +24,14 @@ import os
 import signal
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, \
+    Tuple
 
 from repro import envvars
 from repro.core.config import CoreConfig
+from repro.core.gang import GangEngine, gang_enabled, gang_size
 from repro.core.pipeline import Pipeline
 from repro.core.stats import SimResult
 from repro.harness.cache import get_store, point_digest
@@ -36,6 +39,60 @@ from repro.trace import generate
 
 #: (config, benchmarks, length, seed, stop) — one simulation's inputs.
 PointSpec = Tuple[CoreConfig, Tuple[str, ...], int, int, str]
+
+# ----------------------------------------------------------------------
+# per-process trace memo
+# ----------------------------------------------------------------------
+
+#: (name, length, seed) -> trace, LRU-bounded.  Traces are immutable
+#: once generated (cursors live on ThreadContext), so one object safely
+#: serves every point that names it — which is also what lets gang
+#: members share a single decoded-trace array set (keyed on object
+#: identity in :mod:`repro.core.gang`).
+_TRACE_MEMO: "OrderedDict[Tuple[str, int, int], object]" = OrderedDict()
+_TRACE_MEMO_MAX = 64
+_trace_memo_hits = 0
+_trace_memo_misses = 0
+
+
+def traces_for(benchmarks: Tuple[str, ...], length: int,
+               seed: int) -> list:
+    """The traces for one point, memoized per trace per process.
+
+    A 50-config grid over one mix generates its traces once per worker
+    instead of 50 times; repeated lookups also return the *same* trace
+    objects, enabling decode sharing across gang members.
+    """
+    global _trace_memo_hits, _trace_memo_misses
+    out = []
+    for i, bench in enumerate(benchmarks):
+        key = (bench, length, seed + i)
+        trace = _TRACE_MEMO.get(key)
+        if trace is None:
+            _trace_memo_misses += 1
+            trace = generate(bench, length, seed + i)
+            _TRACE_MEMO[key] = trace
+            if len(_TRACE_MEMO) > _TRACE_MEMO_MAX:
+                _TRACE_MEMO.popitem(last=False)
+        else:
+            _trace_memo_hits += 1
+            _TRACE_MEMO.move_to_end(key)
+        out.append(trace)
+    return out
+
+
+def clear_trace_memo() -> None:
+    """Drop every memoized trace and zero the hit/miss counters
+    (invoked by :func:`repro.harness.runner.clear_cache`)."""
+    global _trace_memo_hits, _trace_memo_misses
+    _TRACE_MEMO.clear()
+    _trace_memo_hits = _trace_memo_misses = 0
+
+
+def trace_memo_stats() -> Dict[str, int]:
+    """Live memo counters: ``entries``, ``hits``, ``misses``."""
+    return {"entries": len(_TRACE_MEMO), "hits": _trace_memo_hits,
+            "misses": _trace_memo_misses}
 
 _default_jobs: Optional[int] = None
 
@@ -119,8 +176,7 @@ def simulate_point(config: CoreConfig, benchmarks: Tuple[str, ...],
         cached = store.get(digest)
         if cached is not None:
             return cached
-    traces = [generate(b, length, seed + i)
-              for i, b in enumerate(benchmarks)]
+    traces = traces_for(benchmarks, length, seed)
     result = Pipeline(config, traces).run(stop=stop)
     if store is not None:
         # the point tuple rides along so the store can write the meta
@@ -130,10 +186,88 @@ def simulate_point(config: CoreConfig, benchmarks: Tuple[str, ...],
     return result
 
 
+def simulate_gang(specs: Sequence[PointSpec]) -> List[SimResult]:
+    """Run gang-compatible specs — identical ``(benchmarks, length,
+    seed, stop)``, any configs — as one gang through the store.
+
+    Per-spec store hits are honoured individually; the misses become
+    members of one :class:`~repro.core.gang.GangEngine` sharing decoded
+    traces, and every result is persisted exactly as
+    :func:`simulate_point` would.  If the gang raises (e.g. one member
+    deadlocks), the misses are re-run solo so the failure is raised by
+    — and attributed to — the offending spec alone.
+    """
+    specs = list(specs)
+    store = get_store()
+    results: List[Optional[SimResult]] = [None] * len(specs)
+    digests: List[Optional[str]] = [None] * len(specs)
+    pending = []
+    for i, (config, benchmarks, length, seed, stop) in enumerate(specs):
+        if store is not None:
+            digests[i] = point_digest(config, benchmarks, length, seed,
+                                      stop)
+            cached = store.get(digests[i])
+            if cached is not None:
+                results[i] = cached
+                continue
+        pending.append(i)
+    if not pending:
+        return results  # type: ignore[return-value]
+    try:
+        members = []
+        for i in pending:
+            config, benchmarks, length, seed, stop = specs[i]
+            members.append(
+                Pipeline(config, traces_for(benchmarks, length, seed)))
+        gang_results = GangEngine(
+            members, stop=specs[pending[0]][4]).run()
+    except Exception:  # repro-lint: waive=DET104
+        # Audited: nothing is swallowed — the solo replay below re-runs
+        # every miss, so the failing member re-raises its exact
+        # exception with solo attribution, and its healthy gang-mates
+        # still produce (bit-identical) results.
+        for i in pending:
+            results[i] = simulate_point(*specs[i])
+        return results  # type: ignore[return-value]
+    for i, result in zip(pending, gang_results):
+        results[i] = result
+        if store is not None:
+            store.put(digests[i], result, point=specs[i])
+    return results  # type: ignore[return-value]
+
+
 def _worker(spec: PointSpec) -> Tuple[SimResult, float]:
     t0 = time.time()
     result = simulate_point(*spec)
     return result, time.time() - t0
+
+
+def _gang_worker(specs: Sequence[PointSpec]
+                 ) -> Tuple[List[SimResult], float]:
+    t0 = time.time()
+    results = simulate_gang(specs)
+    return results, time.time() - t0
+
+
+def _gang_groups(specs: Sequence[PointSpec]) -> List[List[int]]:
+    """Partition spec indices into gang-compatible chunks.
+
+    Specs sharing ``(benchmarks, length, seed, stop)`` — i.e. the same
+    traces and stop condition, whatever their configs — group together
+    in first-appearance order, chunked at :func:`gang_size` members.
+    Unique signatures come out as singletons and take the plain solo
+    paths.
+    """
+    by_signature: "OrderedDict[tuple, List[int]]" = OrderedDict()
+    for i, (config, benchmarks, length, seed, stop) in enumerate(specs):
+        by_signature.setdefault(
+            (benchmarks, length, seed, stop), []).append(i)
+    size = gang_size()
+    groups: List[List[int]] = []
+    for indices in by_signature.values():
+        for k in range(0, len(indices), size):
+            groups.append(indices[k:k + size])
+    return groups
 
 
 def run_points(specs: Iterable[PointSpec], jobs: Optional[int] = None
@@ -143,15 +277,32 @@ def run_points(specs: Iterable[PointSpec], jobs: Optional[int] = None
 
     With ``jobs > 1`` points run across a spawn-context process pool and
     arrive in completion order; with ``jobs = 1`` (or a single spec) they
-    run serially, in order, in this process.  Either way every completed
-    point is yielded exactly once, so callers can checkpoint incrementally.
+    run serially in this process.  Either way every completed point is
+    yielded exactly once, so callers can checkpoint incrementally.
+
+    When gang mode is on (``REPRO_GANG``, default) specs sharing a trace
+    signature run as one :class:`~repro.core.gang.GangEngine` unit —
+    one pool task (or one serial step) per gang, results bit-identical
+    to solo, per-spec elapsed reported as the gang's share — so yields
+    may leave spec order even at ``jobs = 1``.
     """
     specs = list(specs)
     jobs = min(resolve_jobs(jobs), max(len(specs), 1))
+    if gang_enabled() and len(specs) > 1:
+        groups = _gang_groups(specs)
+    else:
+        groups = [[i] for i in range(len(specs))]
     if jobs <= 1:
-        for i, spec in enumerate(specs):
-            result, elapsed = _worker(spec)
-            yield i, result, elapsed
+        for indices in groups:
+            if len(indices) == 1:
+                result, elapsed = _worker(specs[indices[0]])
+                yield indices[0], result, elapsed
+            else:
+                results, elapsed = _gang_worker(
+                    [specs[i] for i in indices])
+                share = elapsed / len(indices)
+                for i, result in zip(indices, results):
+                    yield i, result, share
         return
     # spawn, not fork: workers re-import the package, so they are safe
     # regardless of parent threads and identical across platforms.
@@ -159,11 +310,24 @@ def run_points(specs: Iterable[PointSpec], jobs: Optional[int] = None
     pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
     with interrupt_on_sigterm():
         try:
-            futures = {pool.submit(_worker, spec): i
-                       for i, spec in enumerate(specs)}
+            futures = {}
+            for indices in groups:
+                if len(indices) == 1:
+                    future = pool.submit(_worker, specs[indices[0]])
+                else:
+                    future = pool.submit(
+                        _gang_worker, [specs[i] for i in indices])
+                futures[future] = indices
             for future in as_completed(futures):
-                result, elapsed = future.result()
-                yield futures[future], result, elapsed
+                indices = futures[future]
+                if len(indices) == 1:
+                    result, elapsed = future.result()
+                    yield indices[0], result, elapsed
+                    continue
+                results, elapsed = future.result()
+                share = elapsed / len(indices)
+                for i, result in zip(indices, results):
+                    yield i, result, share
         except BaseException:
             # KeyboardInterrupt / SIGTERM / a consumer abandoning the
             # generator: kill in-flight workers (before shutdown() —

@@ -24,6 +24,7 @@ from repro import envvars
 from repro.core.config import CoreConfig
 from repro.core.stats import SimResult
 from repro.harness import cache as _cache
+from repro.harness import executor
 from repro.harness.configs import base64_config
 from repro.harness.executor import PointSpec, run_points, simulate_point
 from repro.metrics.throughput import stp
@@ -76,6 +77,7 @@ def clear_cache(disk: bool = False) -> None:
     """
     _CACHE.clear()
     _STATS["hits"] = _STATS["misses"] = 0
+    executor.clear_trace_memo()
     if disk:
         store = _cache.get_store()
         if store is not None:
@@ -87,6 +89,8 @@ def cache_stats() -> Dict[str, int]:
     """Hit/miss counters for both cache levels (in-process + disk)."""
     stats = {"memo_hits": _STATS["hits"], "memo_misses": _STATS["misses"],
              "memo_size": len(_CACHE)}
+    stats.update({"trace_" + k: v
+                  for k, v in executor.trace_memo_stats().items()})
     store = _cache.get_store()
     if store is not None:
         stats.update(store.stats)

@@ -41,8 +41,10 @@ from typing import Dict, List, Optional, Set, Tuple
 import multiprocessing
 
 from repro import envvars
+from repro.core.gang import gang_enabled
 from repro.harness.cache import get_store
-from repro.harness.executor import simulate_point, terminate_workers
+from repro.harness.executor import (_gang_groups, simulate_gang,
+                                    simulate_point, terminate_workers)
 from repro.service.jobs import Job, JobQueue, JobSpec
 from repro.service.metrics import ServiceMetrics
 
@@ -96,31 +98,53 @@ def run_batch(wire_specs: List[dict]) -> List[dict]:
       store) successfully;
     * ``{"ok": False, "error": {...}}`` — the point timed out or its
       spec failed validation; the rest of the batch still runs.
+
+    With gang mode on (``REPRO_GANG``), store-missing points *without*
+    a per-point timeout that share a trace signature simulate as one
+    :class:`~repro.core.gang.GangEngine` unit (results bit-identical
+    to solo, ``elapsed_s`` reported as the gang's share); timed points
+    stay on the solo path because the ``SIGALRM`` budget is per point
+    and gang members interleave.
     """
     _maybe_crash()
     store = get_store()
-    out: List[dict] = []
-    for wire in wire_specs:
+    out: List[Optional[dict]] = [None] * len(wire_specs)
+    gang_ok = gang_enabled()
+    gang_points: List[tuple] = []
+    gang_indices: List[int] = []
+    for idx, wire in enumerate(wire_specs):
         timeout_s = wire.get("_timeout_s")
         t0 = time.time()
         try:
             spec = JobSpec.from_wire(wire)
             hit = store.get(spec.digest()) if store is not None else None
+            if hit is None and gang_ok and timeout_s is None:
+                gang_points.append(spec.point())
+                gang_indices.append(idx)
+                continue
             with _alarm(timeout_s):
                 result = hit if hit is not None \
                     else simulate_point(*spec.point())
         except PointTimeout:
-            out.append({"ok": False, "error": {
+            out[idx] = {"ok": False, "error": {
                 "type": "timeout",
-                "message": f"point exceeded its {timeout_s}s budget"}})
+                "message": f"point exceeded its {timeout_s}s budget"}}
         except ValueError as exc:
-            out.append({"ok": False, "error": {
-                "type": "bad-spec", "message": str(exc)}})
+            out[idx] = {"ok": False, "error": {
+                "type": "bad-spec", "message": str(exc)}}
         else:
-            out.append({"ok": True, "result": result,
+            out[idx] = {"ok": True, "result": result,
                         "elapsed_s": time.time() - t0,
-                        "store_hit": hit is not None})
-    return out
+                        "store_hit": hit is not None}
+    for group in _gang_groups(gang_points):
+        t0 = time.time()
+        results = simulate_gang([gang_points[g] for g in group])
+        share = (time.time() - t0) / len(group)
+        for g, result in zip(group, results):
+            out[gang_indices[g]] = {"ok": True, "result": result,
+                                    "elapsed_s": share,
+                                    "store_hit": False}
+    return out  # type: ignore[return-value]
 
 
 class BatchScheduler:
@@ -259,8 +283,11 @@ class BatchScheduler:
             self._pool = None
 
     def _fill(self) -> None:
+        # gang=True biases each batch toward one trace signature so the
+        # worker-side gang path gets whole gangs, not fragments.
+        gang = gang_enabled()
         while len(self._inflight) < self.max_inflight:
-            batch = self.queue.take_batch(self.batch_size)
+            batch = self.queue.take_batch(self.batch_size, gang=gang)
             if not batch:
                 return
             self._submit(batch)

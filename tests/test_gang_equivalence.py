@@ -1,0 +1,445 @@
+"""Gang engine vs solo pipeline equivalence oracle.
+
+A :class:`~repro.core.gang.GangEngine` advances K member pipelines
+through one interleaved loop over shared decoded traces; every member
+must be *bit-identical* to the same point run solo — same
+:class:`SimResult` bytes, same issue logs, same cycle counts — across
+mixed configs, sanitizer-on members, early-finishing members, and any
+stride.  These tests mirror ``tests/test_lanes_equivalence.py`` one
+layer up: the solo pipeline (itself proven against the object and
+reference loops there) is the reference here.
+
+Also covered: the harness-side machinery the gang rides on — the
+per-process trace memo (one ``generate()`` per distinct trace), gang
+grouping/chunking in the executor, the service worker's gang path, and
+the digest exclusion of the ``REPRO_GANG`` mode flags.
+"""
+
+import pickle
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro import envvars
+from repro.core.config import CoreConfig
+from repro.core.gang import GangEngine, gang_enabled, gang_size
+from repro.core.pipeline import Pipeline
+from repro.harness import executor, runner
+from repro.harness.cache import point_digest
+from repro.harness.configs import shelf_config
+from repro.memory.hierarchy import HierarchyConfig
+from repro.trace import generate
+
+
+@pytest.fixture
+def isolated_store(tmp_path, monkeypatch):
+    """Throwaway persistent store + clean memo/caches around each test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+@pytest.fixture
+def no_store(monkeypatch):
+    """Persistent store off + clean memo/caches around each test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+_WORKLOADS = ("pchase.mem", "pchase.l2", "ilp.int8", "serial.memdep",
+              "branchy.hard", "mixed.store", "gather.small", "serial.div")
+
+
+def _random_config(rng, num_threads):
+    """Same generator as the lane oracle's, with the thread count pinned
+    so every member of a gang can share one trace set."""
+    steering = rng.choice(("iq-only", "practical", "oracle", "shelf-only"))
+    shelf = 0 if steering == "iq-only" and rng.random() < 0.5 \
+        else rng.choice((16, 32)) * num_threads
+    return CoreConfig(
+        num_threads=num_threads,
+        rob_entries=rng.choice((32, 64)) * num_threads,
+        iq_entries=rng.choice((16, 32)),
+        lq_entries=16 * num_threads,
+        sq_entries=16 * num_threads,
+        shelf_entries=shelf,
+        steering=steering if shelf else "iq-only",
+        shelf_same_cycle_issue=rng.random() < 0.5,
+        dual_ssr=rng.random() < 0.75,
+        memory_model=rng.choice(("relaxed", "relaxed", "tso")),
+        fetch_policy=rng.choice(("icount", "round-robin")),
+        hierarchy=HierarchyConfig(
+            mem_latency=rng.choice((60, 200, 450)),
+            l1d_mshrs=rng.choice((2, 16)),
+        ),
+    )
+
+
+def _run_gang_vs_solo(configs, traces, stop="first", stride=4096,
+                      max_cycles=None, warmup_instructions=0):
+    """Run the configs as one gang and each solo over the same traces;
+    assert byte-identical results and identical logs; return results."""
+    solo = []
+    for cfg in configs:
+        pipe = Pipeline(cfg, traces, record_schedule=True)
+        solo.append((pipe, pipe.run(stop=stop, max_cycles=max_cycles,
+                                    warmup_instructions=warmup_instructions)))
+    members = [Pipeline(cfg, traces, record_schedule=True)
+               for cfg in configs]
+    gang = GangEngine(members, stop=stop, stride=stride)
+    results = gang.run(max_cycles=max_cycles,
+                       warmup_instructions=warmup_instructions)
+    assert len(results) == len(configs)
+    for i, (r_gang, (solo_pipe, r_solo)) in enumerate(zip(results, solo)):
+        assert members[i].cycle == solo_pipe.cycle, \
+            f"member {i}: cycle diverged ({members[i].cycle} vs " \
+            f"{solo_pipe.cycle})"
+        assert members[i].issue_log == solo_pipe.issue_log, \
+            f"member {i}: issue schedules diverged"
+        assert members[i].instr_log == solo_pipe.instr_log, \
+            f"member {i}: lifetime records diverged"
+        assert pickle.dumps(r_gang) == pickle.dumps(r_solo), \
+            f"member {i}: SimResult not byte-identical to solo"
+    return results
+
+
+# ---------------------------------------------------------------------------
+# the oracle: gang == solo, bit for bit
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("trial", range(6))
+def test_random_mixed_gangs_bit_identical(trial):
+    # Every gang mixes configs freely (that is the whole point: same
+    # traces, different microarchitectures), randomizes stride, stop
+    # mode, SMT width, and workload mix.
+    rng = random.Random(9000 + trial)
+    num_threads = rng.choice((1, 2))
+    configs = [_random_config(rng, num_threads)
+               for _ in range(rng.randrange(2, 6))]
+    length = rng.randrange(200, 401)
+    traces = [generate(rng.choice(_WORKLOADS), length, seed=trial * 5 + tid)
+              for tid in range(num_threads)]
+    _run_gang_vs_solo(configs, traces,
+                      stop=rng.choice(("all", "first")),
+                      stride=rng.choice((64, 512, 4096)))
+
+
+def test_sanitizer_member_bit_identical():
+    # A sanitized member rides along with unsanitized gang-mates: the
+    # sanitizer watches every cycle of the interleaved run and must see
+    # nothing (and the results must still match solo byte for byte).
+    configs = [
+        shelf_config(2, steering="practical"),
+        replace(shelf_config(2, steering="practical"), sanitize=True),
+        replace(shelf_config(2, steering="practical"), rob_entries=96),
+    ]
+    traces = [generate("mixed.store", 250, 0),
+              generate("gather.small", 250, 1)]
+    _run_gang_vs_solo(configs, traces, stop="first", stride=256)
+
+
+def test_early_finishers_bit_identical():
+    # A 60-cycle-memory member finishes long before a 450-cycle one;
+    # the small stride forces many rotations after the fast members
+    # retire from the rotation.
+    base = CoreConfig(num_threads=1, shelf_entries=16, steering="practical")
+    configs = [replace(base, hierarchy=HierarchyConfig(mem_latency=lat))
+               for lat in (60, 450, 60, 200)]
+    traces = [generate("pchase.mem", 300, 2)]
+    _run_gang_vs_solo(configs, traces, stop="all", stride=128)
+
+
+def test_gang_of_one_matches_solo():
+    cfg = CoreConfig(num_threads=1)
+    traces = [generate("ilp.int8", 400, 1)]
+    _run_gang_vs_solo([cfg], traces, stop="all")
+
+
+def test_warmup_and_max_cycles_bit_identical():
+    configs = [CoreConfig(num_threads=1),
+               replace(CoreConfig(num_threads=1), iq_entries=48)]
+    traces = [generate("pchase.l2", 300, 3)]
+    _run_gang_vs_solo(configs, traces, stop="all", stride=512,
+                      warmup_instructions=100)
+
+
+def test_members_reusable_after_gang():
+    # run() must uninstall the shared decode arrays so members remain
+    # ordinary solo pipelines afterwards.
+    traces = [generate("mixed.int", 150, 0)]
+    members = [Pipeline(CoreConfig(num_threads=1), traces)
+               for _ in range(3)]
+    GangEngine(members, stop="all").run()
+    for pipe in members:
+        if pipe._lane_engine is not None:
+            assert pipe._lane_engine.decode is None
+
+
+def test_object_mode_members_supported():
+    # lanes=False members have no lane engine to install decodes on;
+    # they interleave through the object loop and still match solo.
+    cfg = CoreConfig(num_threads=1, shelf_entries=16, steering="practical")
+    traces = [generate("branchy.hard", 250, 4)]
+    solo = Pipeline(cfg, traces).run(stop="all")
+    members = [Pipeline(cfg, traces, lanes=False),
+               Pipeline(cfg, traces, lanes=True)]
+    results = GangEngine(members, stop="all", stride=128).run()
+    assert pickle.dumps(results[0]) == pickle.dumps(solo)
+    assert pickle.dumps(results[1]) == pickle.dumps(solo)
+
+
+def test_bad_stride_rejected():
+    with pytest.raises(ValueError, match="stride"):
+        GangEngine([], stride=0)
+
+
+# ---------------------------------------------------------------------------
+# mode flags: env control and digest exclusion
+# ---------------------------------------------------------------------------
+
+def test_gang_env_controls(monkeypatch):
+    assert gang_enabled()          # default on
+    monkeypatch.setenv("REPRO_GANG", "0")
+    assert not gang_enabled()
+    monkeypatch.setenv("REPRO_GANG", "1")
+    assert gang_enabled()
+
+    assert gang_size() == 16       # default
+    monkeypatch.setenv("REPRO_GANG_SIZE", "4")
+    assert gang_size() == 4
+    monkeypatch.setenv("REPRO_GANG_SIZE", "0")
+    assert gang_size() == 1        # floored: size-1 gang = solo
+    monkeypatch.setenv("REPRO_GANG_SIZE", "")
+    assert gang_size() == 16
+    monkeypatch.setenv("REPRO_GANG_SIZE", "many")
+    with pytest.raises(ValueError, match="REPRO_GANG_SIZE"):
+        gang_size()
+
+
+def test_gang_mode_outside_digests(monkeypatch):
+    # Gang mode must not perturb result-store digests: a gang-simulated
+    # point must be a store hit for a solo run and vice versa.  Same
+    # pattern as the lane-mode digest test.
+    cfg = CoreConfig(num_threads=1)
+    point = (("ilp.int8",), 100, 0, "all")
+    base = point_digest(cfg, *point)
+    monkeypatch.setenv("REPRO_GANG", "0")
+    monkeypatch.setenv("REPRO_GANG_SIZE", "3")
+    assert point_digest(cfg, *point) == base
+    assert point_digest(replace(cfg), *point) == base
+    # ...and the flags are registered as digest-unsafe mode knobs, so
+    # the DIG501 static pass bars digest-scope code from reading them.
+    assert not envvars.lookup("REPRO_GANG").digest_safe
+    assert not envvars.lookup("REPRO_GANG_SIZE").digest_safe
+    # CoreConfig has no gang field at all, by design.
+    assert not hasattr(cfg, "gang")
+
+
+# ---------------------------------------------------------------------------
+# trace memo: one generate() per distinct trace per process
+# ---------------------------------------------------------------------------
+
+def test_trace_memo_counts_generate_calls(no_store, monkeypatch):
+    calls = []
+
+    def counting_generate(bench, length, seed):
+        calls.append((bench, length, seed))
+        return generate(bench, length, seed)
+
+    monkeypatch.setattr(executor, "generate", counting_generate)
+
+    first = executor.traces_for(("ilp.int8", "mixed.int"), 200, 0)
+    assert len(calls) == 2         # one per distinct (bench, length, seed)
+    again = executor.traces_for(("ilp.int8", "mixed.int"), 200, 0)
+    assert len(calls) == 2         # all hits: no regeneration
+    # identity, not equality: gang decode sharing keys on id(trace).
+    assert all(a is b for a, b in zip(first, again))
+    # a 3-config "grid" over the same mix costs zero extra generates.
+    for _ in range(3):
+        executor.traces_for(("ilp.int8", "mixed.int"), 200, 0)
+    assert len(calls) == 2
+    stats = executor.trace_memo_stats()
+    assert stats["misses"] == 2 and stats["hits"] == 8
+    assert stats["entries"] == 2
+
+    executor.clear_trace_memo()
+    assert executor.trace_memo_stats() == {"entries": 0, "hits": 0,
+                                           "misses": 0}
+    executor.traces_for(("ilp.int8",), 200, 0)
+    assert len(calls) == 3         # regenerated after the clear
+
+
+def test_trace_memo_is_bounded(no_store, monkeypatch):
+    monkeypatch.setattr(executor, "generate",
+                        lambda bench, length, seed: object())
+    for seed in range(executor._TRACE_MEMO_MAX + 10):
+        executor.traces_for(("ilp.int8",), 50, seed)
+    assert executor.trace_memo_stats()["entries"] == \
+        executor._TRACE_MEMO_MAX
+
+
+def test_clear_cache_clears_trace_memo(no_store):
+    executor.traces_for(("ilp.int8",), 60, 0)
+    assert executor.trace_memo_stats()["entries"] == 1
+    runner.clear_cache()
+    assert executor.trace_memo_stats()["entries"] == 0
+    stats = runner.cache_stats()
+    assert "trace_entries" in stats and "trace_hits" in stats
+
+
+# ---------------------------------------------------------------------------
+# executor: grouping, chunking, and the run_points gang path
+# ---------------------------------------------------------------------------
+
+def _spec(cfg, benchmarks=("ilp.int8",), length=120, seed=0, stop="first"):
+    return (cfg, benchmarks, length, seed, stop)
+
+
+def test_gang_groups_by_signature_and_chunk(monkeypatch):
+    monkeypatch.setenv("REPRO_GANG_SIZE", "2")
+    a = CoreConfig(num_threads=1)
+    specs = [
+        _spec(a, seed=0),                        # sig S, 0
+        _spec(replace(a, iq_entries=48), seed=1),  # sig T, 1
+        _spec(replace(a, rob_entries=96), seed=0),  # sig S, 2
+        _spec(replace(a, iq_entries=24), seed=0),   # sig S, 3
+        _spec(a, seed=0, stop="all"),            # sig U (stop differs), 4
+    ]
+    groups = executor._gang_groups(specs)
+    # first-appearance order, signature S chunked at size 2.
+    assert groups == [[0, 2], [3], [1], [4]]
+
+
+def test_run_points_gang_vs_solo_identical(no_store, monkeypatch):
+    base = CoreConfig(num_threads=1, shelf_entries=16, steering="practical")
+    specs = [_spec(replace(base, rob_entries=32 + 16 * i), length=150)
+             for i in range(4)]
+    specs.append(_spec(base, length=150, seed=9))  # its own singleton
+
+    assert gang_enabled()
+    ganged = {}
+    for i, result, elapsed in executor.run_points(specs, jobs=1):
+        assert i not in ganged, "index yielded twice"
+        assert elapsed >= 0.0
+        ganged[i] = pickle.dumps(result)
+    assert sorted(ganged) == list(range(len(specs)))
+
+    runner.clear_cache()
+    monkeypatch.setenv("REPRO_GANG", "0")
+    solo = {i: pickle.dumps(result)
+            for i, result, _ in executor.run_points(specs, jobs=1)}
+    assert ganged == solo
+
+
+def test_simulate_gang_honours_store_hits(isolated_store):
+    base = CoreConfig(num_threads=1)
+    specs = [_spec(replace(base, rob_entries=32 + 16 * i), length=100)
+             for i in range(3)]
+    # Pre-simulate the middle spec solo so the gang sees a store hit.
+    warm = executor.simulate_point(*specs[1])
+    results = executor.simulate_gang(specs)
+    assert pickle.dumps(results[1]) == pickle.dumps(warm)
+    for spec, result in zip(specs, results):
+        runner.clear_cache()
+        solo = Pipeline(spec[0], [generate(spec[1][0], spec[2],
+                                           spec[3])]).run(stop=spec[4])
+        assert pickle.dumps(result) == pickle.dumps(solo)
+
+
+def test_simulate_gang_falls_back_solo_on_member_error(no_store,
+                                                       monkeypatch):
+    # A gang abort (any member raising) must re-run the misses solo so
+    # the failure is attributed per point; here every member is healthy,
+    # so the fallback must deliver the same results the gang would have.
+    class _Boom:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def run(self, *args, **kwargs):
+            raise RuntimeError("injected gang failure")
+
+    monkeypatch.setattr(executor, "GangEngine", _Boom)
+    base = CoreConfig(num_threads=1)
+    specs = [_spec(replace(base, rob_entries=32 + 16 * i), length=100)
+             for i in range(2)]
+    results = executor.simulate_gang(specs)
+    for spec, result in zip(specs, results):
+        solo = Pipeline(spec[0], [generate(spec[1][0], spec[2],
+                                           spec[3])]).run(stop=spec[4])
+        assert pickle.dumps(result) == pickle.dumps(solo)
+
+
+# ---------------------------------------------------------------------------
+# service: the worker gang path and gang-aware batching
+# ---------------------------------------------------------------------------
+
+def test_run_batch_gang_path(isolated_store):
+    from repro.service.jobs import config_to_wire
+    from repro.service.scheduler import run_batch
+
+    base = shelf_config(1, steering="practical")
+    wires = []
+    for i in range(3):                       # one gang: same signature
+        wires.append({"config": config_to_wire(
+            replace(base, rob_entries=64 + 16 * i)),
+            "benchmarks": ["ilp.int8"], "length": 120, "seed": 0,
+            "stop": "first"})
+    wires.append({"config": config_to_wire(base),  # different signature
+                  "benchmarks": ["mixed.int"], "length": 120, "seed": 0,
+                  "stop": "first"})
+    timed = {"config": config_to_wire(base),  # timed: stays on solo path
+             "benchmarks": ["ilp.int8"], "length": 120, "seed": 3,
+             "stop": "first", "_timeout_s": 60.0}
+    wires.append(timed)
+    wires.append({"config": config_to_wire(base),  # bad spec
+                  "benchmarks": ["no.such.bench"], "length": 120,
+                  "seed": 0, "stop": "first"})
+
+    out = run_batch(wires)
+    assert len(out) == len(wires)
+    assert all(o is not None for o in out)
+    for o in out[:5]:
+        assert o["ok"], o
+    assert not out[5]["ok"] and out[5]["error"]["type"] == "bad-spec"
+
+    # every gang result byte-identical to a solo re-simulation.
+    for o, wire in zip(out[:5], wires[:5]):
+        runner.clear_cache()
+        from repro.service.jobs import JobSpec
+        solo = Pipeline(JobSpec.from_wire(wire).config,
+                        [generate(wire["benchmarks"][0], wire["length"],
+                                  wire["seed"])]).run(stop=wire["stop"])
+        assert pickle.dumps(o["result"]) == pickle.dumps(solo)
+
+
+def test_take_batch_prefers_gang_signature(no_store):
+    from repro.service.jobs import JobQueue, JobSpec
+
+    queue = JobQueue(store=None)
+    base = CoreConfig(num_threads=1)
+
+    def spec(rob, bench="ilp.int8", seed=0):
+        return JobSpec(config=replace(base, rob_entries=rob),
+                       benchmarks=(bench,), length=100, seed=seed)
+
+    a1 = queue.submit(spec(32))
+    b1 = queue.submit(spec(32, bench="mixed.int"))
+    a2 = queue.submit(spec(64))
+    a3 = queue.submit(spec(96))
+    batch = queue.take_batch(3, gang=True)
+    assert [j.job_id for j in batch] == [a1.job_id, a2.job_id, a3.job_id]
+    # the skipped job stays queued, in order, and comes out next.
+    assert [j.job_id for j in queue.take_batch(3, gang=True)] == \
+        [b1.job_id]
+
+    # top-up: no gang-mates available -> batch filled with skipped jobs.
+    c1 = queue.submit(spec(32, seed=5))
+    d1 = queue.submit(spec(32, bench="mixed.int", seed=6))
+    d2 = queue.submit(spec(64, bench="mixed.int", seed=6))
+    batch = queue.take_batch(3, gang=True)
+    assert [j.job_id for j in batch] == \
+        [c1.job_id, d1.job_id, d2.job_id]

@@ -1,0 +1,124 @@
+"""Compare a fresh BENCH_fleet.json against the committed baseline.
+
+Correctness gates are unconditional: every fleet round must be
+bit-identical to the local reference (``bit_identical``), the
+worker-kill round must lose zero jobs (``kill_jobs_lost``), and the
+killed worker's lease must have been re-queued (``kill_requeued``).
+
+The throughput gate is CPU-aware.  Worker nodes are separate
+processes, so on a single-core runner three workers time-slice one
+CPU and the honest ``speedup_3v1`` sits at or below 1x — comparing
+that ratio against a multi-core baseline (or vice versa) would gate
+on the runner's shape, not the code.  The ratio check therefore only
+runs when *both* the baseline and the fresh report were measured with
+``--min-cpus`` or more CPUs; otherwise it reports the numbers and
+skips.
+
+Usage:
+    python scripts/check_fleet_regression.py \
+        --baseline /tmp/fleet-baseline.json [--fresh BENCH_fleet.json] \
+        [--tolerance 0.25] [--min-cpus 3]
+
+Exit status: 0 clean, 1 on a hard regression, 2 on usage/schema errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed BENCH_fleet.json to compare "
+                             "against (e.g. a git-show copy)")
+    parser.add_argument("--fresh", type=Path,
+                        default=REPO_ROOT / "BENCH_fleet.json",
+                        help="freshly generated JSON (default: repo root)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup_3v1 drop "
+                             "(default 0.25)")
+    parser.add_argument("--min-cpus", type=int, default=3,
+                        help="CPUs required on both machines before "
+                             "the speedup ratio is gated (default 3)")
+    args = parser.parse_args(argv)
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+
+    # --- unconditional correctness gates -----------------------------
+    if fresh.get("bit_identical") is not True:
+        failures.append("REGRESSION bit_identical: fleet records "
+                        "diverged from the local reference")
+    else:
+        print("ok bit_identical: fleet records match local runs")
+
+    lost = fresh.get("kill_jobs_lost")
+    if lost != 0:
+        failures.append(f"REGRESSION kill_jobs_lost: {lost!r} jobs "
+                        f"lost after the worker kill (want 0)")
+    else:
+        print("ok kill_jobs_lost: 0 after worker kill")
+
+    requeued = fresh.get("kill_requeued")
+    if not isinstance(requeued, int) or requeued < 1:
+        failures.append(f"REGRESSION kill_requeued: {requeued!r} "
+                        f"(the killed lease was never re-queued)")
+    else:
+        print(f"ok kill_requeued: {requeued} point(s) recovered")
+
+    # --- CPU-aware throughput gate -----------------------------------
+    if base.get("scale") != fresh.get("scale"):
+        print(f"error: scale mismatch — baseline ran at "
+              f"{base.get('scale')!r}, fresh at {fresh.get('scale')!r}; "
+              f"ratios are only comparable at the same scale",
+              file=sys.stderr)
+        return 2
+    want = base.get("speedup_3v1")
+    got = fresh.get("speedup_3v1")
+    if want is None or got is None:
+        print("error: speedup_3v1 missing from baseline or fresh run",
+              file=sys.stderr)
+        return 2
+    base_cpus = base.get("cpus", 0)
+    fresh_cpus = fresh.get("cpus", 0)
+    if base_cpus >= args.min_cpus and fresh_cpus >= args.min_cpus:
+        floor = want * (1.0 - args.tolerance)
+        line = (f"speedup_3v1: baseline {want:.2f}x, fresh {got:.2f}x "
+                f"(floor {floor:.2f}x)")
+        if got < floor:
+            failures.append("REGRESSION " + line)
+        else:
+            print("ok " + line)
+    else:
+        print(f"skip speedup_3v1: baseline measured on {base_cpus} "
+              f"cpu(s), fresh on {fresh_cpus} — worker processes "
+              f"cannot scale below {args.min_cpus} cpus, so only the "
+              f"correctness gates apply (fresh ratio {got:.2f}x, "
+              f"baseline {want:.2f}x, informational)")
+
+    for f in failures:
+        print("error: " + f, file=sys.stderr)
+    if failures:
+        return 1
+    print("fleet report within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

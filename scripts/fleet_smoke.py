@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the sharded fleet, used by CI.
+
+Everything out of process: a real ``python -m repro serve --fleet
+--dashboard`` coordinator plus two real ``python -m repro worker``
+subprocesses against a throwaway sharded store.  From this process:
+
+1. submits a small two-mix campaign and waits for every point;
+2. asserts each record is bit-identical to a direct in-process
+   ``Pipeline`` run, that both workers registered, and that the work
+   was dispatched through the fleet (``fleet_dispatched`` > 0);
+3. asserts the result blobs landed in the digest-prefix shards
+   (each on exactly one shard) with the warehouse index row
+   replicated to every shard, and ``GET /campaigns`` aggregates the
+   campaign fleet-wide;
+4. fetches ``/dashboard`` and checks it serves the HTML app;
+5. sends SIGTERM to the coordinator and asserts it drains and exits 0.
+
+Exits nonzero (with the failure on stderr) if any step misbehaves.
+
+Usage: ``PYTHONPATH=src python scripts/fleet_smoke.py``
+"""
+
+import http.client
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.pipeline import Pipeline  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.jobs import JobSpec  # noqa: E402
+from repro.trace import generate  # noqa: E402
+
+LENGTH = 1500
+SHARDS = 3
+
+
+def specs():
+    out = []
+    for seed, mix in ((3, ("ilp.int4", "pchase.l2")),
+                      (4, ("branchy.hard", "mixed.int"))):
+        for length in (LENGTH, LENGTH + 500):
+            out.append(JobSpec.from_wire({
+                "config": "shelf64", "threads": 2, "benchmarks": mix,
+                "length": length, "seed": seed}))
+    return out
+
+
+def direct_record(spec: JobSpec) -> dict:
+    traces = [generate(b, spec.length, spec.seed + i)
+              for i, b in enumerate(spec.benchmarks)]
+    return Pipeline(spec.config, traces).run(stop=spec.stop).as_record()
+
+
+def strip(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k != "elapsed_s"}
+
+
+def spawn_worker(url: str, name: str, env: dict) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--connect", url,
+         "--name", name, "--max-points", "3"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p)
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") as tmp:
+        env["REPRO_FLEET_DIR"] = os.path.join(tmp, "fleet")
+        env["REPRO_FLEET_SHARDS"] = str(SHARDS)
+        env["REPRO_FLEET_HEARTBEAT_S"] = "0.5"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--fleet", "--dashboard", "--drain-timeout", "60"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        workers = []
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", banner)
+            assert match, f"no listening banner, got: {banner!r}"
+            port = match.group(1)
+            url = f"http://127.0.0.1:{port}"
+            client = ServiceClient(url)
+            health = client.healthz()
+            assert health["status"] == "ok" and health["fleet"], health
+
+            workers = [spawn_worker(url, f"smoke-w{i}", env)
+                       for i in range(2)]
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                nodes = client.fleet_nodes()["nodes"]
+                if sum(1 for n in nodes if n["alive"]) == 2:
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError(f"workers never registered: {nodes}")
+
+            points = specs()
+            job_ids = [client.submit(s, campaign="fleet-smoke")["job_id"]
+                       for s in points]
+            for job_id in job_ids:
+                client.wait(job_id, timeout_s=300)
+            for job_id, spec in zip(job_ids, points):
+                doc = client.result(job_id)
+                assert strip(doc["record"]) == strip(
+                    direct_record(spec)), \
+                    f"fleet record differs from direct run ({job_id})"
+            print("smoke: 2-worker campaign bit-identical OK")
+
+            metrics = client.metrics()
+            assert metrics["jobs_completed"] == len(points), metrics
+            assert metrics["jobs_failed"] == 0, metrics
+            assert metrics["fleet_dispatched"] >= 1, metrics
+            assert metrics["fleet"]["nodes_alive"] == 2, metrics
+
+            # shard layout: each blob on exactly one shard, the index
+            # row replicated everywhere, /campaigns aggregated
+            from repro.fleet import ShardedStore, shard_index
+            store = ShardedStore(env["REPRO_FLEET_DIR"], shards=SHARDS)
+            for spec in points:
+                digest = spec.digest()
+                owners = [i for i, shard in enumerate(store.shards)
+                          if digest in shard]
+                assert owners == [shard_index(digest, SHARDS)], \
+                    f"blob {digest[:12]} on shards {owners}"
+            for i, shard in enumerate(store.shards):
+                wh = shard.warehouse()
+                assert wh is not None and \
+                    wh.row_count() == len(points), \
+                    f"shard {i} index incomplete"
+            campaigns = client.campaigns()
+            mine = [c for c in campaigns if c["name"] == "fleet-smoke"]
+            assert mine and mine[0]["service"]["completed"] == \
+                len(points), campaigns
+            store.close()
+            print("smoke: shard routing + replicated index + "
+                  "campaign aggregation OK")
+
+            conn = http.client.HTTPConnection("127.0.0.1", int(port),
+                                              timeout=10)
+            conn.request("GET", "/dashboard")
+            resp = conn.getresponse()
+            body = resp.read().decode()
+            assert resp.status == 200 and \
+                "repro service dashboard" in body, resp.status
+            conn.close()
+            print("smoke: dashboard OK")
+
+            for w in workers:
+                w.send_signal(signal.SIGTERM)
+            for w in workers:
+                w.communicate(timeout=60)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=90)
+            assert proc.returncode == 0, \
+                f"coordinator exited {proc.returncode}:\n{out}"
+            print("smoke: graceful drain OK")
+        except BaseException:
+            for w in workers:
+                w.kill()
+            proc.kill()
+            proc.wait(10)
+            raise
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -422,11 +422,24 @@ def store_dir() -> Optional[Path]:
 
 
 def get_store() -> Optional[ResultStore]:
-    """The process-wide store handle, or ``None`` when caching is off."""
+    """The process-wide store handle, or ``None`` when caching is off.
+
+    When ``$REPRO_FLEET_DIR`` is set the handle is a
+    :class:`repro.fleet.ShardedStore` (the digest-prefix-sharded fleet
+    store, a drop-in for :class:`ResultStore`); otherwise the flat
+    single-directory store.  Both selections are deployment knobs and
+    never influence digests."""
     global _store, _store_resolved
     if not _store_resolved:
-        directory = store_dir()
-        _store = ResultStore(directory) if directory is not None else None
+        # imported lazily: repro.fleet sits above the harness layer.
+        from repro.fleet.shards import ShardedStore, fleet_dir
+        fleet_root = fleet_dir()
+        if fleet_root is not None:
+            _store = ShardedStore(fleet_root)
+        else:
+            directory = store_dir()
+            _store = ResultStore(directory) if directory is not None \
+                else None
         _store_resolved = True
     return _store
 

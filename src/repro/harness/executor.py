@@ -163,6 +163,91 @@ def interrupt_on_sigterm():
         signal.signal(signal.SIGTERM, previous)
 
 
+class PointTimeout(Exception):
+    """Raised inside a worker when a point exceeds its time budget."""
+
+
+@contextlib.contextmanager
+def _alarm(seconds: Optional[float]):
+    """Run the body under a real-time interval timer (worker-side)."""
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _timeout(signum, frame):
+        raise PointTimeout
+
+    previous = signal.signal(signal.SIGALRM, _timeout)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_wire_batch(wire_specs: List[dict]) -> List[dict]:
+    """Simulate a batch of wire-format job specs (the shared body of
+    the service pool's ``run_batch`` and the fleet worker's lease loop).
+
+    Returns one outcome dict per spec, in order:
+
+    * ``{"ok": True, "result": SimResult, "elapsed_s": float,
+      "store_hit": bool}`` — simulated (or loaded from the persistent
+      store) successfully;
+    * ``{"ok": False, "error": {...}}`` — the point timed out or its
+      spec failed validation; the rest of the batch still runs.
+
+    With gang mode on (``REPRO_GANG``), store-missing points *without*
+    a per-point timeout that share a trace signature simulate as one
+    :class:`~repro.core.gang.GangEngine` unit (results bit-identical
+    to solo, ``elapsed_s`` reported as the gang's share); timed points
+    stay on the solo path because the ``SIGALRM`` budget is per point
+    and gang members interleave.
+    """
+    # late import: repro.service imports this module at load time, so
+    # the spec class must resolve lazily to keep the layering acyclic.
+    from repro.service.jobs import JobSpec
+    store = get_store()
+    out: List[Optional[dict]] = [None] * len(wire_specs)
+    gang_ok = gang_enabled()
+    gang_points: List[tuple] = []
+    gang_indices: List[int] = []
+    for idx, wire in enumerate(wire_specs):
+        timeout_s = wire.get("_timeout_s")
+        t0 = time.time()
+        try:
+            spec = JobSpec.from_wire(wire)
+            hit = store.get(spec.digest()) if store is not None else None
+            if hit is None and gang_ok and timeout_s is None:
+                gang_points.append(spec.point())
+                gang_indices.append(idx)
+                continue
+            with _alarm(timeout_s):
+                result = hit if hit is not None \
+                    else simulate_point(*spec.point())
+        except PointTimeout:
+            out[idx] = {"ok": False, "error": {
+                "type": "timeout",
+                "message": f"point exceeded its {timeout_s}s budget"}}
+        except ValueError as exc:
+            out[idx] = {"ok": False, "error": {
+                "type": "bad-spec", "message": str(exc)}}
+        else:
+            out[idx] = {"ok": True, "result": result,
+                        "elapsed_s": time.time() - t0,
+                        "store_hit": hit is not None}
+    for group in _gang_groups(gang_points):
+        t0 = time.time()
+        results = simulate_gang([gang_points[g] for g in group])
+        share = (time.time() - t0) / len(group)
+        for g, result in zip(group, results):
+            out[gang_indices[g]] = {"ok": True, "result": result,
+                                    "elapsed_s": share,
+                                    "store_hit": False}
+    return out  # type: ignore[return-value]
+
+
 def simulate_point(config: CoreConfig, benchmarks: Tuple[str, ...],
                    length: int, seed: int, stop: str) -> SimResult:
     """Run one simulation point through the persistent store.

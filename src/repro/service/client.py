@@ -1,22 +1,45 @@
 """Synchronous client for the simulation service (stdlib ``http.client``).
 
 Used by ``python -m repro submit``, by :meth:`Campaign.run(service=...)
-<repro.harness.campaign.Campaign.run>`, and by tests/CI.  One connection
-per request (the server is ``Connection: close``), JSON both ways.
+<repro.harness.campaign.Campaign.run>`, by fleet worker nodes, and by
+tests/CI.  One connection per request (the server is ``Connection:
+close``), JSON both ways.
+
+Connection-level failures retry with **exponential backoff and
+deterministic jitter**: the delay before attempt *k* is ``backoff_s x
+2^k`` scaled by a factor in [0.5, 1.0) derived from
+``sha256(jitter_key:attempt)``.  Each client seeds *jitter_key* with
+its own identity (fleet workers use their node name; the default is
+the target ``host:port``), so a fleet of clients retrying against a
+recovering coordinator fans out across half the exponential step
+instead of thundering in lockstep — while any single client's schedule
+is exactly reproducible.  The jitter source is a hash, not a PRNG, so
+the schedule is deterministic and DET101-clean.
 """
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 import time
 import urllib.parse
-from typing import Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CoreConfig
 from repro.service.jobs import JobSpec, config_to_wire
 
 DEFAULT_URL = "http://127.0.0.1:8642"
+
+
+def backoff_delay(base_s: float, attempt: int, key: str) -> float:
+    """Backoff before retry *attempt* (0-based): ``base_s x 2^attempt``
+    scaled into [0.5, 1.0) by a sha256-derived jitter of ``key`` and the
+    attempt number.  Pure and deterministic — the same (key, attempt)
+    always waits the same time, and distinct keys spread out."""
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+    jitter = int.from_bytes(digest[:4], "big") / 2 ** 32
+    return base_s * (2 ** attempt) * (0.5 + 0.5 * jitter)
 
 
 class ServiceError(Exception):
@@ -37,7 +60,9 @@ class ServiceClient:
     """Talk to a running ``python -m repro serve`` instance."""
 
     def __init__(self, url: str = DEFAULT_URL,
-                 timeout_s: float = 10.0) -> None:
+                 timeout_s: float = 10.0, retries: int = 0,
+                 backoff_s: float = 0.1,
+                 jitter_key: Optional[str] = None) -> None:
         parsed = urllib.parse.urlparse(url if "//" in url
                                        else f"http://{url}")
         if parsed.scheme not in ("http", ""):
@@ -45,11 +70,36 @@ class ServiceClient:
         self.host = parsed.hostname or "127.0.0.1"
         self.port = parsed.port or 8642
         self.timeout_s = timeout_s
+        #: connection-level retries per request (HTTP >= 400 never
+        #: retries — the server answered; repeating a POST could act
+        #: twice).
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.jitter_key = jitter_key if jitter_key is not None \
+            else f"{self.host}:{self.port}"
+        #: delays actually slept, for tests and debugging.
+        self.retry_log: List[float] = []
 
     # -- plumbing ----------------------------------------------------------
 
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None) -> Tuple[int, dict]:
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                # a status code means the server is up and answered:
+                # never retry, the failure is the caller's to handle.
+                if exc.status is not None or attempt >= self.retries:
+                    raise
+                delay = backoff_delay(self.backoff_s, attempt,
+                                      self.jitter_key)
+                self.retry_log.append(delay)
+                time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[dict] = None) -> Tuple[int, dict]:
         body = json.dumps(payload).encode() if payload is not None else None
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout_s)
@@ -152,3 +202,34 @@ class ServiceClient:
                              timeout_s=timeout_s)["job_id"]
         self.wait(job_id, timeout_s=wait_timeout_s)
         return self.result(job_id)
+
+    # -- fleet protocol (worker side; coordinator must run --fleet) --------
+
+    def fleet_register(self, name: str, jobs: int = 1, gang: bool = True,
+                       shards: Optional[Sequence[int]] = None) -> dict:
+        """Register this process as a worker node; the response carries
+        ``node_id`` plus the fleet store topology to mount."""
+        return self._request("POST", "/fleet/register", {
+            "name": name, "jobs": jobs, "gang": gang,
+            "shards": list(shards or [])})[1]
+
+    def fleet_heartbeat(self, node_id: str) -> dict:
+        return self._request("POST", "/fleet/heartbeat",
+                             {"node_id": node_id})[1]
+
+    def fleet_lease(self, node_id: str,
+                    max_points: Optional[int] = None) -> Optional[dict]:
+        """Ask for work; None when the coordinator has nothing."""
+        doc = self._request("POST", "/fleet/lease", {
+            "node_id": node_id, "max_points": max_points})[1]
+        return doc if doc.get("lease_id") else None
+
+    def fleet_complete(self, node_id: str, lease_id: str,
+                       outcomes: List[dict]) -> dict:
+        return self._request("POST", "/fleet/complete", {
+            "node_id": node_id, "lease_id": lease_id,
+            "outcomes": outcomes})[1]
+
+    def fleet_nodes(self) -> dict:
+        """The coordinator's ``GET /fleet/nodes`` document."""
+        return self._request("GET", "/fleet/nodes")[1]

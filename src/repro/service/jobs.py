@@ -132,6 +132,18 @@ class JobSpec:
         return point_key(self.config.label(), "+".join(self.benchmarks),
                          self.length, self.seed, self.stop)
 
+    def locality_key(self) -> str:
+        """Fleet routing key: the trace signature, *without* the config.
+
+        Grid neighbours — same workload mix, different configs — share
+        this key, so rendezvous routing sends them to the same worker
+        node, whose trace memo and gang batches then serve the whole
+        neighbourhood.  Salt-stable and digest-free: the key never
+        depends on the result-store salt or any mode flag.
+        """
+        return "|".join(("+".join(self.benchmarks), str(self.length),
+                         str(self.seed), self.stop))
+
     def to_wire(self) -> dict:
         return {
             "config": config_to_wire(self.config),
@@ -317,12 +329,18 @@ class JobQueue:
     #: ``max_n`` for signature matches, bounding the per-batch heap work.
     GANG_SCAN_FACTOR = 8
 
-    def take_batch(self, max_n: int, gang: bool = False) -> List[Job]:
+    def take_batch(self, max_n: int, gang: bool = False,
+                   mark_running: bool = True) -> List[Job]:
         """Pop up to *max_n* compatible jobs and mark them running.
 
         Compatibility: identical priority and per-job timeout, so one
         worker batch has a single well-defined deadline and never mixes
         priorities.  Returns ``[]`` when the queue is empty.
+
+        ``mark_running=False`` pops without flipping job state: the
+        fleet dispatcher uses it to route jobs into per-node queues,
+        where they are still *waiting* — they go RUNNING only when a
+        worker actually leases them (see :meth:`mark_running`).
 
         With ``gang=True`` the batch prefers jobs sharing the head
         job's trace signature ``(benchmarks, length, seed, stop)``, so
@@ -369,10 +387,19 @@ class JobQueue:
                     batch.append(skipped.pop(0)[2])
                 for entry in skipped:
                     heapq.heappush(self._heap, entry)
-            for job in batch:
+            if mark_running:
+                for job in batch:
+                    job.state = JobState.RUNNING
+                    job.started_at = now
+        return batch
+
+    def mark_running(self, jobs: List[Job]) -> None:
+        """Flip routed jobs to RUNNING at lease time (fleet path)."""
+        now = time.monotonic()
+        with self._lock:
+            for job in jobs:
                 job.state = JobState.RUNNING
                 job.started_at = now
-        return batch
 
     # -- resolution --------------------------------------------------------
 

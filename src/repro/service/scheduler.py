@@ -27,11 +27,9 @@ disk hit for every later request, service-side or not.
 
 from __future__ import annotations
 
-import contextlib
 import heapq
 import itertools
 import os
-import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -42,10 +40,11 @@ import multiprocessing
 
 from repro import envvars
 from repro.core.gang import gang_enabled
-from repro.harness.cache import get_store
-from repro.harness.executor import (_gang_groups, simulate_gang,
-                                    simulate_point, terminate_workers)
-from repro.service.jobs import Job, JobQueue, JobSpec
+# PointTimeout and _alarm moved to the executor with the batch body;
+# re-exported here because they are part of this module's historic API.
+from repro.harness.executor import (PointTimeout, _alarm,  # noqa: F401
+                                    execute_wire_batch, terminate_workers)
+from repro.service.jobs import Job, JobQueue
 from repro.service.metrics import ServiceMetrics
 
 #: test-only fault injection: a path; when the file exists, the next
@@ -53,29 +52,6 @@ from repro.service.metrics import ServiceMetrics
 #: exercising the BrokenProcessPool retry path end to end.  Declared in
 #: :mod:`repro.envvars` like every other ``REPRO_*`` knob.
 CRASH_ONCE_ENV = "REPRO_SERVICE_CRASH_ONCE"
-
-
-class PointTimeout(Exception):
-    """Raised inside a worker when a point exceeds its time budget."""
-
-
-@contextlib.contextmanager
-def _alarm(seconds: Optional[float]):
-    """Run the body under a real-time interval timer (worker-side)."""
-    if not seconds or not hasattr(signal, "SIGALRM"):
-        yield
-        return
-
-    def _timeout(signum, frame):
-        raise PointTimeout
-
-    previous = signal.signal(signal.SIGALRM, _timeout)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
 
 
 def _maybe_crash() -> None:
@@ -91,60 +67,16 @@ def _maybe_crash() -> None:
 def run_batch(wire_specs: List[dict]) -> List[dict]:
     """Worker entry point: simulate a batch of points.
 
-    Returns one outcome dict per spec, in order:
-
-    * ``{"ok": True, "result": SimResult, "elapsed_s": float,
-      "store_hit": bool}`` — simulated (or loaded from the persistent
-      store) successfully;
-    * ``{"ok": False, "error": {...}}`` — the point timed out or its
-      spec failed validation; the rest of the batch still runs.
-
-    With gang mode on (``REPRO_GANG``), store-missing points *without*
-    a per-point timeout that share a trace signature simulate as one
-    :class:`~repro.core.gang.GangEngine` unit (results bit-identical
-    to solo, ``elapsed_s`` reported as the gang's share); timed points
-    stay on the solo path because the ``SIGALRM`` budget is per point
-    and gang members interleave.
+    The execution body lives in
+    :func:`repro.harness.executor.execute_wire_batch` (shared with the
+    fleet worker's lease loop); this wrapper adds the service pool's
+    crash-injection hook and keeps the historic
+    ``repro.service.scheduler.run_batch`` name the spawn pool pickles.
+    See :func:`~repro.harness.executor.execute_wire_batch` for the
+    outcome-dict contract and the gang fast path.
     """
     _maybe_crash()
-    store = get_store()
-    out: List[Optional[dict]] = [None] * len(wire_specs)
-    gang_ok = gang_enabled()
-    gang_points: List[tuple] = []
-    gang_indices: List[int] = []
-    for idx, wire in enumerate(wire_specs):
-        timeout_s = wire.get("_timeout_s")
-        t0 = time.time()
-        try:
-            spec = JobSpec.from_wire(wire)
-            hit = store.get(spec.digest()) if store is not None else None
-            if hit is None and gang_ok and timeout_s is None:
-                gang_points.append(spec.point())
-                gang_indices.append(idx)
-                continue
-            with _alarm(timeout_s):
-                result = hit if hit is not None \
-                    else simulate_point(*spec.point())
-        except PointTimeout:
-            out[idx] = {"ok": False, "error": {
-                "type": "timeout",
-                "message": f"point exceeded its {timeout_s}s budget"}}
-        except ValueError as exc:
-            out[idx] = {"ok": False, "error": {
-                "type": "bad-spec", "message": str(exc)}}
-        else:
-            out[idx] = {"ok": True, "result": result,
-                        "elapsed_s": time.time() - t0,
-                        "store_hit": hit is not None}
-    for group in _gang_groups(gang_points):
-        t0 = time.time()
-        results = simulate_gang([gang_points[g] for g in group])
-        share = (time.time() - t0) / len(group)
-        for g, result in zip(group, results):
-            out[gang_indices[g]] = {"ok": True, "result": result,
-                                    "elapsed_s": share,
-                                    "store_hit": False}
-    return out  # type: ignore[return-value]
+    return execute_wire_batch(wire_specs)
 
 
 class BatchScheduler:
